@@ -1,0 +1,309 @@
+// Command hermes-bench regenerates every table and figure of the
+// paper's evaluation as text tables (and optional CSV):
+//
+//	hermes-bench -exp fig2    # Figure 2: overhead vs FCT/goodput
+//	hermes-bench -exp exp1    # Figure 5: testbed study
+//	hermes-bench -exp exp2    # Figure 6: per-packet overhead at scale
+//	hermes-bench -exp exp3    # Figure 7: execution time at scale
+//	hermes-bench -exp exp4    # Figure 8: end-to-end impact
+//	hermes-bench -exp exp5    # Figure 9: scalability
+//	hermes-bench -exp exp6    # switch resource consumption
+//	hermes-bench -exp all
+//
+// Exp#2–Exp#5 iterate the ten Table III WAN topologies with up to 50
+// concurrent programs; expect minutes of runtime with -ilp enabled.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/hermes-net/hermes/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hermes-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hermes-bench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment: fig2, exp1, exp2, exp3, exp4, exp5, exp6, all")
+	programs := fs.Int("programs", 50, "concurrent programs for exp2-4")
+	deadline := fs.Duration("deadline", 3*time.Second, "per-instance solver deadline for exact/ILP solvers")
+	ilp := fs.Bool("ilp", true, "run the genuinely ILP-backed comparison frameworks")
+	seed := fs.Int64("seed", 1, "workload seed")
+	csvDir := fs.String("csv", "", "also write CSV files into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.SolverDeadline = *deadline
+	cfg.IncludeILPFrameworks = *ilp
+
+	runner := &runner{cfg: cfg, programs: *programs, csvDir: *csvDir}
+	todo := strings.Split(*exp, ",")
+	if *exp == "all" {
+		todo = []string{"fig2", "exp1", "exp2", "exp3", "exp4", "exp5", "exp6"}
+	}
+	for _, e := range todo {
+		if err := runner.run(strings.TrimSpace(e)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type runner struct {
+	cfg      experiments.Config
+	programs int
+	csvDir   string
+	// exp2 results are shared by exp3 and exp4.
+	topoRows []experiments.TopoRow
+}
+
+func (r *runner) run(exp string) error {
+	switch exp {
+	case "fig2":
+		return r.fig2()
+	case "exp1":
+		return r.exp1()
+	case "exp2":
+		return r.exp2()
+	case "exp3":
+		return r.exp3()
+	case "exp4":
+		return r.exp4()
+	case "exp5":
+		return r.exp5()
+	case "exp6":
+		return r.exp6()
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+func (r *runner) fig2() error {
+	fmt.Println("## Figure 2: per-packet byte overhead vs end-to-end performance")
+	pts, err := experiments.Figure2()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-10s %-12s %-14s\n", "pkt(B)", "ovh(B)", "FCT+(%)", "goodput-(%)")
+	rows := [][]string{{"packet_bytes", "overhead_bytes", "fct_increase", "goodput_decrease"}}
+	for _, p := range pts {
+		fmt.Printf("%-10d %-10d %-12.1f %-14.1f\n",
+			p.PacketBytes, p.OverheadBytes, p.FCTIncrease*100, p.GoodputDecrease*100)
+		rows = append(rows, []string{
+			strconv.Itoa(p.PacketBytes), strconv.Itoa(p.OverheadBytes),
+			fmt.Sprintf("%.4f", p.FCTIncrease), fmt.Sprintf("%.4f", p.GoodputDecrease),
+		})
+	}
+	fmt.Println()
+	return r.writeCSV("fig2.csv", rows)
+}
+
+func (r *runner) exp1() error {
+	fmt.Println("## Exp#1 (Figure 5): testbed study, 3-switch linear, 2-10 real programs")
+	rows, err := experiments.Exp1(r.cfg)
+	if err != nil {
+		return err
+	}
+	csvRows := [][]string{{"programs", "solver", "header_bytes", "amax_bytes", "exec_ms", "fct_overhead", "goodput_loss", "capped", "err"}}
+	for _, row := range rows {
+		fmt.Printf("programs=%d\n", row.Programs)
+		fmt.Printf("  %-8s %10s %10s %12s %10s %10s\n", "solver", "header(B)", "A_max(B)", "exec", "FCT+(%)", "gput-(%)")
+		for _, res := range row.Results {
+			printSolverRow(res)
+			csvRows = append(csvRows, solverCSV(strconv.Itoa(row.Programs), res))
+		}
+	}
+	fmt.Println()
+	return r.writeCSV("exp1.csv", csvRows)
+}
+
+func (r *runner) ensureExp2() error {
+	if r.topoRows != nil {
+		return nil
+	}
+	rows, err := experiments.Exp2(r.cfg, r.programs)
+	if err != nil {
+		return err
+	}
+	r.topoRows = rows
+	return nil
+}
+
+func (r *runner) exp2() error {
+	fmt.Printf("## Exp#2 (Figure 6): per-packet byte overhead, %d programs, Table III topologies\n", r.programs)
+	if err := r.ensureExp2(); err != nil {
+		return err
+	}
+	csvRows := [][]string{{"topology", "solver", "header_bytes", "amax_bytes"}}
+	for _, row := range r.topoRows {
+		fmt.Printf("topology %d (%d nodes, %d edges)\n", row.Topology, row.Nodes, row.Edges)
+		for _, res := range row.Results {
+			if res.Err != "" {
+				fmt.Printf("  %-8s failed: %s\n", res.Solver, res.Err)
+				continue
+			}
+			fmt.Printf("  %-8s header=%4dB A_max=%4dB\n", res.Solver, res.HeaderBytes, res.AMax)
+			csvRows = append(csvRows, []string{
+				strconv.Itoa(row.Topology), res.Solver,
+				strconv.Itoa(res.HeaderBytes), strconv.Itoa(res.AMax),
+			})
+		}
+	}
+	fmt.Println()
+	return r.writeCSV("exp2.csv", csvRows)
+}
+
+func (r *runner) exp3() error {
+	fmt.Println("## Exp#3 (Figure 7): execution time (capped runs plotted as 10^7 ms)")
+	if err := r.ensureExp2(); err != nil {
+		return err
+	}
+	csvRows := [][]string{{"topology", "solver", "exec_ms", "capped"}}
+	for _, row := range r.topoRows {
+		fmt.Printf("topology %d\n", row.Topology)
+		for _, res := range row.Results {
+			if res.Err != "" {
+				continue
+			}
+			mark := ""
+			if res.Capped {
+				mark = "  (capped)"
+			}
+			fmt.Printf("  %-8s %12.3f ms%s\n", res.Solver, float64(res.ExecTime.Microseconds())/1000, mark)
+			csvRows = append(csvRows, []string{
+				strconv.Itoa(row.Topology), res.Solver,
+				fmt.Sprintf("%.3f", float64(res.ExecTime.Microseconds())/1000),
+				strconv.FormatBool(res.Capped),
+			})
+		}
+	}
+	fmt.Println()
+	return r.writeCSV("exp3.csv", csvRows)
+}
+
+func (r *runner) exp4() error {
+	fmt.Println("## Exp#4 (Figure 8): end-to-end impact of the deployed overhead (1024B packets)")
+	if err := r.ensureExp2(); err != nil {
+		return err
+	}
+	csvRows := [][]string{{"topology", "solver", "fct_overhead", "goodput_loss"}}
+	for _, row := range r.topoRows {
+		fmt.Printf("topology %d\n", row.Topology)
+		for _, res := range row.Results {
+			if res.Err != "" {
+				continue
+			}
+			fmt.Printf("  %-8s FCT %+6.1f%%  goodput %+6.1f%%\n",
+				res.Solver, res.FCTOverhead*100, -res.GoodputLoss*100)
+			csvRows = append(csvRows, []string{
+				strconv.Itoa(row.Topology), res.Solver,
+				fmt.Sprintf("%.4f", res.FCTOverhead), fmt.Sprintf("%.4f", res.GoodputLoss),
+			})
+		}
+	}
+	fmt.Println()
+	return r.writeCSV("exp4.csv", csvRows)
+}
+
+func (r *runner) exp5() error {
+	fmt.Println("## Exp#5 (Figure 9): scalability on topology 10, 10-50 programs")
+	rows, err := experiments.Exp5(r.cfg)
+	if err != nil {
+		return err
+	}
+	csvRows := [][]string{{"programs", "solver", "header_bytes", "amax_bytes", "exec_ms", "fct_overhead", "goodput_loss", "capped", "err"}}
+	for _, row := range rows {
+		fmt.Printf("programs=%d\n", row.Programs)
+		fmt.Printf("  %-8s %10s %10s %12s %10s %10s\n", "solver", "header(B)", "A_max(B)", "exec", "FCT+(%)", "gput-(%)")
+		for _, res := range row.Results {
+			printSolverRow(res)
+			csvRows = append(csvRows, solverCSV(strconv.Itoa(row.Programs), res))
+		}
+	}
+	fmt.Println()
+	return r.writeCSV("exp5.csv", csvRows)
+}
+
+func (r *runner) exp6() error {
+	fmt.Println("## Exp#6: switch resource consumption (10 concurrent sketches)")
+	res, err := experiments.Exp6(r.cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  ground truth (each sketch alone):       %.3f stage-units\n", res.GroundTruth)
+	fmt.Printf("  Hermes deployment consumes:             %.3f stage-units\n", res.HermesUsed)
+	fmt.Printf("  SPEED deployment consumes:              %.3f stage-units\n", res.SPEEDUsed)
+	fmt.Printf("  saved by TDG merging:                   %.3f stage-units\n", res.MergeSavings)
+	fmt.Printf("  extra resources added by coordination:  %.4f stage-units\n", res.HermesExtra)
+	fmt.Println()
+	return r.writeCSV("exp6.csv", [][]string{
+		{"ground_truth", "hermes_used", "speed_used", "merge_savings", "hermes_extra"},
+		{
+			fmt.Sprintf("%.4f", res.GroundTruth), fmt.Sprintf("%.4f", res.HermesUsed),
+			fmt.Sprintf("%.4f", res.SPEEDUsed), fmt.Sprintf("%.4f", res.MergeSavings),
+			fmt.Sprintf("%.4f", res.HermesExtra),
+		},
+	})
+}
+
+func printSolverRow(res experiments.SolverResult) {
+	if res.Err != "" {
+		fmt.Printf("  %-8s failed: %s\n", res.Solver, res.Err)
+		return
+	}
+	exec := fmt.Sprintf("%.3fms", float64(res.ExecTime.Microseconds())/1000)
+	if res.Capped {
+		exec = ">cap"
+	}
+	fmt.Printf("  %-8s %9dB %9dB %12s %+9.1f%% %+9.1f%%\n",
+		res.Solver, res.HeaderBytes, res.AMax, exec,
+		res.FCTOverhead*100, -res.GoodputLoss*100)
+}
+
+func solverCSV(x string, res experiments.SolverResult) []string {
+	return []string{
+		x, res.Solver,
+		strconv.Itoa(res.HeaderBytes), strconv.Itoa(res.AMax),
+		fmt.Sprintf("%.3f", float64(res.ExecTime.Microseconds())/1000),
+		fmt.Sprintf("%.4f", res.FCTOverhead), fmt.Sprintf("%.4f", res.GoodputLoss),
+		strconv.FormatBool(res.Capped), res.Err,
+	}
+}
+
+func (r *runner) writeCSV(name string, rows [][]string) error {
+	if r.csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(r.csvDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(r.csvDir + "/" + name)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

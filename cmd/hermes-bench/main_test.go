@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunFig2(t *testing.T) {
+	if err := run([]string{"-exp", "fig2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExp6WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-exp", "exp6", "-ilp=false", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "exp6.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty CSV")
+	}
+}
+
+func TestRunExp1Heuristics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seconds-scale experiment")
+	}
+	if err := run([]string{"-exp", "exp1", "-ilp=false", "-deadline", "500ms"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "exp99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunCommaSeparatedList(t *testing.T) {
+	if err := run([]string{"-exp", "fig2,exp6", "-ilp=false"}); err != nil {
+		t.Fatal(err)
+	}
+}

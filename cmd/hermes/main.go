@@ -1,0 +1,341 @@
+// Command hermes deploys data plane programs onto a network topology
+// and reports the resulting plan: MAT placements, coordination
+// headers, per-packet byte overhead, and end-to-end impact.
+//
+// Usage:
+//
+//	hermes -workload real:6 -topology linear:3 -solver hermes
+//	hermes -workload synthetic:20 -topology table3:4 -solver all
+//	hermes -workload sketches:10 -topology linear:3 -json
+//
+// Workloads:   real:N (N of the ten switch.p4-style programs),
+//
+//	synthetic:N, sketches:N, mixed:N (real + synthetic).
+//
+// Topologies:  linear:N, fattree:K, table3:I (paper Table III),
+//
+//	wan:NODES,EDGES.
+//
+// Solvers:     hermes, optimal, ilp, ms, sonata, speed, mtp, fp,
+//
+//	p4all, ffl, ffls, all.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	hermes "github.com/hermes-net/hermes"
+	"github.com/hermes-net/hermes/internal/baseline"
+	"github.com/hermes-net/hermes/internal/network"
+	"github.com/hermes-net/hermes/internal/p4lite"
+	"github.com/hermes-net/hermes/internal/placement"
+	programPkg "github.com/hermes-net/hermes/internal/program"
+	"github.com/hermes-net/hermes/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hermes:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hermes", flag.ContinueOnError)
+	workloadFlag := fs.String("workload", "real:4", "workload spec (real:N, synthetic:N, sketches:N, mixed:N, file:PATH, p4:FILE[,FILE...])")
+	topoFlag := fs.String("topology", "linear:3", "topology spec (linear:N, fattree:K, table3:I, wan:N,E)")
+	solverFlag := fs.String("solver", "hermes", "solver (hermes, optimal, ilp, ms, sonata, speed, mtp, fp, p4all, ffl, ffls, all)")
+	eps1 := fs.Duration("eps1", 0, "ε1: bound on end-to-end coordination latency (0 = unbounded)")
+	eps2 := fs.Int("eps2", 0, "ε2: bound on occupied switches (0 = unbounded)")
+	seed := fs.Int64("seed", 1, "workload/topology seed")
+	capacity := fs.Float64("stage-capacity", 0, "override per-stage capacity (0 = spec default)")
+	deadline := fs.Duration("deadline", 30*time.Second, "solver deadline for exact/ILP solvers")
+	jsonOut := fs.Bool("json", false, "emit the plan as JSON")
+	emitBundle := fs.String("emit-bundle", "", "write the resolved workload as a JSON bundle to this path and exit")
+	verify := fs.Bool("verify", false, "drive packets through the deployment and check equivalence")
+	report := fs.Bool("report", false, "print a per-switch operations report for each plan")
+	savePlan := fs.String("save-plan", "", "write the first solver's plan as JSON to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	progs, err := parseWorkload(*workloadFlag, *seed)
+	if err != nil {
+		return err
+	}
+	if *emitBundle != "" {
+		data, err := programPkg.EncodeBundle(progs)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*emitBundle, data, 0o644); err != nil {
+			return fmt.Errorf("writing bundle: %w", err)
+		}
+		fmt.Printf("wrote %d programs to %s\n", len(progs), *emitBundle)
+		return nil
+	}
+	topo, err := parseTopology(*topoFlag, *seed, *capacity)
+	if err != nil {
+		return err
+	}
+	solvers, err := parseSolvers(*solverFlag)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload: %s (%d programs), topology: %s (%d switches, %d programmable)\n",
+		*workloadFlag, len(progs), topo.Name, topo.NumSwitches(), len(topo.ProgrammableSwitches()))
+
+	for _, solver := range solvers {
+		res, err := hermes.Deploy(progs, topo, hermes.DeployOptions{
+			Solver:         solver,
+			Epsilon1:       *eps1,
+			Epsilon2:       *eps2,
+			SolverDeadline: *deadline,
+		})
+		if err != nil {
+			fmt.Printf("%-8s failed: %v\n", solver.Name(), err)
+			continue
+		}
+		if *jsonOut {
+			if err := emitJSON(res); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Printf("%-8s header=%3dB A_max=%3dB cross=%4dB switches=%2d t_e2e=%-10v solve=%v\n",
+			solver.Name(), res.Deployment.MaxHeaderBytes(), res.Plan.AMax(),
+			res.Plan.TotalCrossBytes(), res.Plan.QOcc(), res.Plan.TE2E(), res.Plan.SolveTime)
+		if *report {
+			fmt.Println(res.Deployment.Report(programPkg.DefaultResourceModel))
+		}
+		if *savePlan != "" {
+			data, err := res.Plan.EncodeJSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*savePlan, data, 0o644); err != nil {
+				return fmt.Errorf("writing plan: %w", err)
+			}
+			fmt.Printf("         plan saved to %s\n", *savePlan)
+			*savePlan = "" // only the first solver's plan
+		}
+		if *verify {
+			var pkts []*hermes.Packet
+			for i := 0; i < 200; i++ {
+				pkts = append(pkts, &hermes.Packet{Headers: map[string]uint64{
+					"ipv4.srcAddr": uint64(i % 16), "ipv4.dstAddr": uint64(i % 4),
+					"tcp.srcPort": uint64(i % 128), "tcp.dstPort": 80,
+					"ipv4.ttl": 64, "ipv4.protocol": 6,
+				}})
+			}
+			maxHdr, err := hermes.VerifyEquivalence(res.Deployment, pkts)
+			if err != nil {
+				fmt.Printf("         verification FAILED: %v\n", err)
+				continue
+			}
+			fmt.Printf("         verified over %d packets; on-wire header %dB\n", len(pkts), maxHdr)
+		}
+	}
+	return nil
+}
+
+func parseWorkload(spec string, seed int64) ([]*hermes.Program, error) {
+	kind, arg, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("workload spec %q: want kind:arg", spec)
+	}
+	n := 0
+	if kind != "file" && kind != "p4" {
+		var err error
+		n, err = strconv.Atoi(arg)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("workload spec %q: bad count", spec)
+		}
+	}
+	switch kind {
+	case "p4":
+		var progs []*hermes.Program
+		for _, path := range strings.Split(arg, ",") {
+			data, err := os.ReadFile(strings.TrimSpace(path))
+			if err != nil {
+				return nil, fmt.Errorf("reading p4lite source: %w", err)
+			}
+			prog, err := p4lite.Parse(string(data))
+			if err != nil {
+				return nil, err
+			}
+			progs = append(progs, prog)
+		}
+		return progs, nil
+	case "file":
+		data, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, fmt.Errorf("reading workload bundle: %w", err)
+		}
+		return programPkg.DecodeBundle(data)
+	case "real":
+		real := workload.RealPrograms()
+		if n > len(real) {
+			return nil, fmt.Errorf("only %d real programs exist", len(real))
+		}
+		return real[:n], nil
+	case "synthetic":
+		return workload.SyntheticSet(n, workload.PaperSyntheticSpec(), seed)
+	case "sketches":
+		return workload.SketchSet(n, seed)
+	case "mixed":
+		return workload.EvaluationPrograms(n, seed)
+	default:
+		return nil, fmt.Errorf("unknown workload kind %q", kind)
+	}
+}
+
+func parseTopology(spec string, seed int64, capacity float64) (*hermes.Topology, error) {
+	kind, arg, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("topology spec %q: want kind:arg", spec)
+	}
+	sw := network.TofinoSpec()
+	if kind == "linear" {
+		sw = network.TestbedSpec()
+	}
+	if capacity > 0 {
+		sw.StageCapacity = capacity
+	}
+	switch kind {
+	case "linear":
+		n, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("topology spec %q: bad size", spec)
+		}
+		return network.Linear(n, sw)
+	case "fattree":
+		k, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("topology spec %q: bad arity", spec)
+		}
+		return network.FatTree(k, sw, seed)
+	case "table3":
+		i, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("topology spec %q: bad index", spec)
+		}
+		return network.TableIII(i, sw)
+	case "wan":
+		parts := strings.Split(arg, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("topology spec %q: want wan:NODES,EDGES", spec)
+		}
+		nodes, err1 := strconv.Atoi(parts[0])
+		edges, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("topology spec %q: bad sizes", spec)
+		}
+		return network.RandomWAN("wan", nodes, edges, sw, seed)
+	default:
+		return nil, fmt.Errorf("unknown topology kind %q", kind)
+	}
+}
+
+func parseSolvers(spec string) ([]hermes.Solver, error) {
+	mk := func(name string) (hermes.Solver, error) {
+		switch name {
+		case "hermes":
+			return placement.Greedy{}, nil
+		case "optimal":
+			return placement.Exact{}, nil
+		case "ilp":
+			return placement.ILP{}, nil
+		case "ms":
+			return baseline.MinStage{}, nil
+		case "sonata":
+			return baseline.Sonata{}, nil
+		case "speed":
+			return baseline.SPEED{}, nil
+		case "mtp":
+			return baseline.MTP{}, nil
+		case "fp":
+			return baseline.Flightplan{}, nil
+		case "p4all":
+			return baseline.P4All{}, nil
+		case "ffl":
+			return baseline.FFL{}, nil
+		case "ffls":
+			return baseline.FFLS{}, nil
+		default:
+			return nil, fmt.Errorf("unknown solver %q", name)
+		}
+	}
+	if spec == "all" {
+		out := []hermes.Solver{placement.Greedy{}, placement.Exact{}}
+		out = append(out, baseline.All()...)
+		return out, nil
+	}
+	var out []hermes.Solver
+	for _, name := range strings.Split(spec, ",") {
+		s, err := mk(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// planJSON is the exported JSON shape.
+type planJSON struct {
+	Solver      string                    `json:"solver"`
+	AMaxBytes   int                       `json:"a_max_bytes"`
+	HeaderBytes int                       `json:"header_bytes"`
+	Switches    int                       `json:"switches"`
+	TE2E        string                    `json:"t_e2e"`
+	Assignments map[string]assignmentJSON `json:"assignments"`
+	Headers     map[string]headerJSON     `json:"headers"`
+}
+
+type assignmentJSON struct {
+	Switch     int `json:"switch"`
+	StartStage int `json:"start_stage"`
+	EndStage   int `json:"end_stage"`
+}
+
+type headerJSON struct {
+	Bytes  int      `json:"bytes"`
+	Fields []string `json:"fields"`
+}
+
+func emitJSON(res *hermes.Result) error {
+	out := planJSON{
+		Solver:      res.Plan.SolverName,
+		AMaxBytes:   res.Plan.AMax(),
+		HeaderBytes: res.Deployment.MaxHeaderBytes(),
+		Switches:    res.Plan.QOcc(),
+		TE2E:        res.Plan.TE2E().String(),
+		Assignments: map[string]assignmentJSON{},
+		Headers:     map[string]headerJSON{},
+	}
+	for name, sp := range res.Plan.Assignments {
+		out.Assignments[name] = assignmentJSON{
+			Switch: int(sp.Switch), StartStage: sp.Start, EndStage: sp.End,
+		}
+	}
+	for key, hdr := range res.Deployment.Headers {
+		var names []string
+		for _, f := range hdr.Fields {
+			names = append(names, f.Name)
+		}
+		out.Headers[fmt.Sprintf("%d->%d", key.From, key.To)] = headerJSON{
+			Bytes: hdr.Bytes, Fields: names,
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

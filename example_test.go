@@ -1,0 +1,113 @@
+package hermes_test
+
+import (
+	"fmt"
+
+	hermes "github.com/hermes-net/hermes"
+)
+
+// ExampleDeploy shows the full pipeline on the paper's Figure 1
+// workload: three dependent MATs on a three-switch testbed where each
+// switch holds two MATs. Hermes keeps the expensive dependency
+// co-located, paying only the cheap one across switches.
+func ExampleDeploy() {
+	idx := hermes.MetadataField("meta.idx", 8)  // 1 B, cheap to ship
+	cnt := hermes.MetadataField("meta.cnt", 32) // 4 B, expensive
+	src := hermes.HeaderField("ipv4.srcAddr", 32)
+
+	prog, err := hermes.NewProgram("fig1").
+		Table("a", 1).
+		ActionDef("hash", hermes.HashOp(idx, src)).
+		Default("hash").
+		Table("b", 1024).
+		Key(idx, hermes.MatchExact).
+		ActionDef("count", hermes.CountOp(cnt, idx)).
+		Default("count").
+		Table("c", 8).
+		Key(cnt, hermes.MatchRange).
+		ActionDef("mark", hermes.SetOp(hermes.MetadataField("meta.h", 8), 1)).
+		Default("mark").
+		Build()
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	for _, m := range prog.MATs {
+		m.FixedRequirement = 0.5 // two MATs per switch, as in Figure 1
+	}
+	spec := hermes.TestbedSpec()
+	spec.Stages = 2
+	spec.StageCapacity = 0.5
+	topo, err := hermes.LinearTopology(3, spec)
+	if err != nil {
+		fmt.Println("topology:", err)
+		return
+	}
+	res, err := hermes.Deploy([]*hermes.Program{prog}, topo, hermes.DeployOptions{})
+	if err != nil {
+		fmt.Println("deploy:", err)
+		return
+	}
+	fmt.Printf("switches=%d overhead=%dB\n", res.Plan.QOcc(), res.Deployment.MaxHeaderBytes())
+	// Output: switches=2 overhead=1B
+}
+
+// ExampleParseP4Lite compiles a textual program and reports its shape.
+func ExampleParseP4Lite() {
+	prog, err := hermes.ParseP4Lite(`
+program demo;
+metadata nhop : 32;
+table lpm {
+  key ipv4.dstAddr : lpm;
+  capacity 1024;
+  action set_nhop { set nhop <- 1; dec ipv4.ttl; }
+  default set_nhop;
+}
+table fwd {
+  key nhop : exact;
+  action out { set meta.egress_port <- 3; }
+  default out;
+}
+`)
+	if err != nil {
+		fmt.Println("parse:", err)
+		return
+	}
+	fmt.Printf("%s: %d tables\n", prog.Name, len(prog.MATs))
+	// Output: demo: 2 tables
+}
+
+// ExampleAnalyze inspects the merged TDG of two sketches: their
+// identical hash stages unify, and the analyzer prices each dependency
+// in bytes.
+func ExampleAnalyze() {
+	sketches, err := hermes.Sketches(2, 7)
+	if err != nil {
+		fmt.Println("workload:", err)
+		return
+	}
+	separate := 0
+	for _, s := range sketches {
+		separate += len(s.MATs)
+	}
+	g, err := hermes.Analyze(sketches, hermes.AnalyzeOptions{})
+	if err != nil {
+		fmt.Println("analyze:", err)
+		return
+	}
+	fmt.Printf("declared=%d merged=%d\n", separate, g.NumNodes())
+	// Output: declared=6 merged=5
+}
+
+// ExampleFlowConfig_ImpactOf reproduces one Figure 2 point: the end-to-end
+// cost of 48 piggybacked bytes on 1024-byte packets.
+func ExampleFlowConfig_ImpactOf() {
+	flow := hermes.DefaultFlow(1024)
+	imp, err := flow.ImpactOf(48)
+	if err != nil {
+		fmt.Println("impact:", err)
+		return
+	}
+	fmt.Printf("FCT +%.1f%% goodput -%.1f%%\n", imp.FCTIncrease*100, imp.GoodputDecrease*100)
+	// Output: FCT +4.2% goodput -4.0%
+}

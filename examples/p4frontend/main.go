@@ -1,0 +1,120 @@
+// Command p4frontend demonstrates the p4lite textual frontend: two
+// programs written in the library's small P4-inspired language are
+// compiled, deployed with Hermes, and exercised with traffic.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	hermes "github.com/hermes-net/hermes"
+)
+
+const monitorSrc = `
+// Flow monitoring: hash the flow key, count it, flag elephants.
+program monitor;
+
+metadata idx : 32;
+metadata cnt : 32;
+metadata heavy : 8;
+
+table flow_hash {
+  capacity 1;
+  action mix { hash idx <- ipv4.srcAddr, ipv4.dstAddr, tcp.srcPort, tcp.dstPort; }
+  default mix;
+}
+
+table flow_count {
+  key idx : exact;
+  capacity 8192;
+  action bump { count cnt <- idx; }
+  default bump;
+}
+
+table elephant {
+  key cnt : range;
+  capacity 8;
+  action mark  { set heavy <- 1; }
+  action clear { set heavy <- 0; }
+  default clear;
+}
+`
+
+const routerSrc = `
+// L3 routing: LPM lookup, next-hop resolution, TTL decrement.
+program router;
+
+metadata nhop : 32;
+
+table lpm {
+  key ipv4.dstAddr : lpm;
+  capacity 16384;
+  action set_nhop { set nhop <- 1; dec ipv4.ttl; }
+  default set_nhop;
+}
+
+table next_hop {
+  key nhop : exact;
+  capacity 1024;
+  action fwd { set meta.egress_port <- 1; }
+  default fwd;
+}
+`
+
+func run() error {
+	monitor, err := hermes.ParseP4Lite(monitorSrc)
+	if err != nil {
+		return fmt.Errorf("compiling monitor: %w", err)
+	}
+	router, err := hermes.ParseP4Lite(routerSrc)
+	if err != nil {
+		return fmt.Errorf("compiling router: %w", err)
+	}
+	fmt.Printf("compiled %q (%d tables) and %q (%d tables) from p4lite source\n",
+		monitor.Name, len(monitor.MATs), router.Name, len(router.MATs))
+
+	spec := hermes.TestbedSpec()
+	spec.Stages = 3
+	spec.StageCapacity = 0.2
+	topo, err := hermes.LinearTopology(4, spec)
+	if err != nil {
+		return err
+	}
+
+	res, err := hermes.Deploy([]*hermes.Program{monitor, router}, topo, hermes.DeployOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deployment: %s\n", res.Plan.Summary())
+	order, err := res.Plan.SwitchOrder()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("packets traverse switches %v carrying at most %d coordination bytes\n",
+		order, res.Deployment.MaxHeaderBytes())
+
+	var pkts []*hermes.Packet
+	for i := 0; i < 400; i++ {
+		pkts = append(pkts, &hermes.Packet{Headers: map[string]uint64{
+			"ipv4.srcAddr": uint64(0x0A00_0000 + i%7),
+			"ipv4.dstAddr": uint64(0x0B00_0000 + i%3),
+			"tcp.srcPort":  uint64(1024 + i%11),
+			"tcp.dstPort":  443,
+			"ipv4.ttl":     64,
+		}})
+	}
+	maxHdr, err := hermes.VerifyEquivalence(res.Deployment, pkts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("verified %d packets against single-box execution; on-wire header %dB\n",
+		len(pkts), maxHdr)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "p4frontend:", err)
+		os.Exit(1)
+	}
+}

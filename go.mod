@@ -1,0 +1,3 @@
+module github.com/hermes-net/hermes
+
+go 1.22

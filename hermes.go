@@ -1,0 +1,322 @@
+// Package hermes is the public API of the Hermes network-wide data
+// plane program deployment framework (Chen et al., ICDCS 2022).
+//
+// Hermes deploys a set of data plane programs — collections of
+// match-action tables (MATs) — onto a network of programmable
+// switches while minimizing the per-packet byte overhead of
+// inter-switch coordination: the metadata that must be piggybacked on
+// every packet when dependent MATs land on different switches.
+//
+// The typical flow is:
+//
+//	progs := []*hermes.Program{buildMyProgram()}
+//	topo := buildMyTopology()
+//	result, err := hermes.Deploy(progs, topo, hermes.DeployOptions{})
+//	// result.Plan places every MAT; result.Deployment carries the
+//	// per-switch configs and coordination headers.
+//
+// The heavy lifting lives in the internal packages; this package
+// re-exports the stable surface: program construction (Program, MAT,
+// Builder), topology modeling (Topology, Switch), analysis (Analyze),
+// the solvers (Greedy heuristic, exact branch & bound, MILP encoding),
+// the deployment backend, and the packet-level/flow-level simulators.
+package hermes
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hermes-net/hermes/internal/analyzer"
+	"github.com/hermes-net/hermes/internal/baseline"
+	"github.com/hermes-net/hermes/internal/dataplane"
+	"github.com/hermes-net/hermes/internal/deploy"
+	"github.com/hermes-net/hermes/internal/e2esim"
+	"github.com/hermes-net/hermes/internal/fields"
+	"github.com/hermes-net/hermes/internal/network"
+	"github.com/hermes-net/hermes/internal/p4lite"
+	"github.com/hermes-net/hermes/internal/placement"
+	"github.com/hermes-net/hermes/internal/program"
+	"github.com/hermes-net/hermes/internal/tdg"
+	"github.com/hermes-net/hermes/internal/workload"
+)
+
+// Program model.
+type (
+	// Program is a data plane program: an ordered set of MATs plus
+	// control-flow edges.
+	Program = program.Program
+	// MAT is a match-action table.
+	MAT = program.MAT
+	// Builder assembles programs fluently.
+	Builder = program.Builder
+	// Field is a packet header or metadata field.
+	Field = fields.Field
+	// ResourceModel converts MAT properties into stage fractions.
+	ResourceModel = program.ResourceModel
+)
+
+// DefaultResourceModel returns the resource model used across the
+// library when none is supplied.
+func DefaultResourceModel() ResourceModel { return program.DefaultResourceModel }
+
+// NewProgram starts a program builder.
+func NewProgram(name string) *Builder { return program.NewBuilder(name) }
+
+// Match types for MAT keys.
+const (
+	MatchExact   = program.MatchExact
+	MatchLPM     = program.MatchLPM
+	MatchTernary = program.MatchTernary
+	MatchRange   = program.MatchRange
+)
+
+// Op is a primitive action operation.
+type Op = program.Op
+
+// Rule is one installed MAT entry.
+type Rule = program.Rule
+
+// Pattern matches a field value within a rule.
+type Pattern = program.Pattern
+
+// SetOp writes an immediate (or rule parameter) into dst.
+func SetOp(dst Field, imm uint64) Op { return program.SetOp(dst, imm) }
+
+// CopyOp copies src into dst.
+func CopyOp(dst, src Field) Op { return program.CopyOp(dst, src) }
+
+// AddOp adds src plus imm into dst.
+func AddOp(dst, src Field, imm uint64) Op { return program.AddOp(dst, src, imm) }
+
+// HashOp writes a hash of srcs into dst.
+func HashOp(dst Field, srcs ...Field) Op { return program.HashOp(dst, srcs...) }
+
+// CountOp increments a counter indexed by idx, storing the count in dst.
+func CountOp(dst, idx Field) Op { return program.CountOp(dst, idx) }
+
+// DecOp decrements dst by imm (1 when imm is 0).
+func DecOp(dst Field, imm uint64) Op { return program.DecOp(dst, imm) }
+
+// HeaderField constructs a packet header field.
+func HeaderField(name string, bits int) Field { return fields.Header(name, bits) }
+
+// MetadataField constructs a pipeline metadata field.
+func MetadataField(name string, bits int) Field { return fields.Metadata(name, bits) }
+
+// Network model.
+type (
+	// Topology is the substrate network.
+	Topology = network.Topology
+	// Switch is one network node.
+	Switch = network.Switch
+	// SwitchID identifies a switch.
+	SwitchID = network.SwitchID
+	// SwitchSpec configures topology generators.
+	SwitchSpec = network.SwitchSpec
+)
+
+// NewTopology creates an empty topology.
+func NewTopology(name string) *Topology { return network.NewTopology(name) }
+
+// LinearTopology builds an n-switch linear chain (the paper's testbed
+// shape).
+func LinearTopology(n int, spec SwitchSpec) (*Topology, error) {
+	return network.Linear(n, spec)
+}
+
+// TofinoSpec returns the paper's simulation switch settings.
+func TofinoSpec() SwitchSpec { return network.TofinoSpec() }
+
+// TestbedSpec returns the paper's testbed switch settings.
+func TestbedSpec() SwitchSpec { return network.TestbedSpec() }
+
+// TableIIITopology returns the i-th (1-based) evaluation WAN of the
+// paper's Table III.
+func TableIIITopology(i int, spec SwitchSpec) (*Topology, error) {
+	return network.TableIII(i, spec)
+}
+
+// Analysis and deployment.
+type (
+	// TDG is a table dependency graph.
+	TDG = tdg.Graph
+	// Plan is a complete deployment decision.
+	Plan = placement.Plan
+	// Deployment is a compiled plan: per-switch configs plus
+	// coordination headers.
+	Deployment = deploy.Deployment
+	// Solver deploys a TDG onto a network.
+	Solver = placement.Solver
+	// SolveOptions carries the ε-constraint bounds (ε1 latency, ε2
+	// switch count) and solver knobs.
+	SolveOptions = placement.Options
+	// AnalyzeOptions tunes program analysis.
+	AnalyzeOptions = analyzer.Options
+)
+
+// Solvers.
+var (
+	// GreedySolver is the paper's Algorithm 2 heuristic.
+	GreedySolver Solver = placement.Greedy{}
+	// ExactSolver is the branch & bound "Optimal" reference.
+	ExactSolver Solver = placement.Exact{}
+	// ILPSolver is the literal MILP encoding of problem P#1.
+	ILPSolver Solver = placement.ILP{}
+)
+
+// Baselines returns the eight comparison frameworks of the paper's
+// evaluation (MS, Sonata, SPEED, MTP, FP, P4All, FFL, FFLS).
+func Baselines() []Solver { return baseline.All() }
+
+// ParseP4Lite compiles p4lite source text — the library's small
+// P4-inspired table language (see internal/p4lite for the grammar) —
+// into a Program.
+func ParseP4Lite(src string) (*Program, error) { return p4lite.Parse(src) }
+
+// Analyze converts programs into an annotated merged TDG (the paper's
+// program analyzer, Algorithm 1).
+func Analyze(progs []*Program, opts AnalyzeOptions) (*TDG, error) {
+	return analyzer.Analyze(progs, opts)
+}
+
+// DeployOptions configures Deploy.
+type DeployOptions struct {
+	// Solver picks the placement algorithm; nil means GreedySolver.
+	Solver Solver
+	// Epsilon1 bounds the end-to-end coordination latency (0 = unbounded).
+	Epsilon1 time.Duration
+	// Epsilon2 bounds the number of occupied switches (0 = unbounded).
+	Epsilon2 int
+	// SolverDeadline caps exact/ILP solver runtime (0 = none); such
+	// solvers return their best incumbent at the deadline.
+	SolverDeadline time.Duration
+	// Analyze tunes the program analysis step.
+	Analyze AnalyzeOptions
+}
+
+// Result is the outcome of Deploy.
+type Result struct {
+	// TDG is the analyzed merged table dependency graph.
+	TDG *TDG
+	// Plan maps every MAT onto switch stages and picks routes.
+	Plan *Plan
+	// Deployment is the compiled per-switch configuration.
+	Deployment *Deployment
+}
+
+// Deploy runs the full Hermes pipeline: analyze → place → compile.
+func Deploy(progs []*Program, topo *Topology, opts DeployOptions) (*Result, error) {
+	g, err := analyzer.Analyze(progs, opts.Analyze)
+	if err != nil {
+		return nil, fmt.Errorf("hermes: %w", err)
+	}
+	solver := opts.Solver
+	if solver == nil {
+		solver = GreedySolver
+	}
+	popts := placement.Options{
+		Epsilon1: opts.Epsilon1,
+		Epsilon2: opts.Epsilon2,
+	}
+	if opts.SolverDeadline > 0 {
+		popts.Deadline = time.Now().Add(opts.SolverDeadline)
+	}
+	plan, err := solver.Solve(g, topo, popts)
+	if err != nil {
+		return nil, fmt.Errorf("hermes: %w", err)
+	}
+	dep, err := deploy.Compile(plan, opts.Analyze)
+	if err != nil {
+		return nil, fmt.Errorf("hermes: %w", err)
+	}
+	if err := dep.Verify(); err != nil {
+		return nil, fmt.Errorf("hermes: %w", err)
+	}
+	return &Result{TDG: g, Plan: plan, Deployment: dep}, nil
+}
+
+// Simulation.
+type (
+	// Packet is a simulated packet (header fields only; metadata lives
+	// inside switch pipelines).
+	Packet = dataplane.Packet
+	// Engine executes a deployment packet by packet.
+	Engine = dataplane.Engine
+	// FlowConfig models a flow for FCT/goodput analysis.
+	FlowConfig = e2esim.Config
+	// FlowImpact is the normalized FCT/goodput penalty of an overhead.
+	FlowImpact = e2esim.Impact
+)
+
+// NewEngine prepares a packet-level engine for a deployment.
+func NewEngine(dep *Deployment) (*Engine, error) { return dataplane.NewEngine(dep) }
+
+// VerifyEquivalence checks that the distributed deployment processes
+// the packet stream identically to a single unconstrained switch, and
+// returns the largest coordination header observed.
+func VerifyEquivalence(dep *Deployment, packets []*Packet) (int, error) {
+	return dataplane.EquivalentRuns(dep, packets)
+}
+
+// DefaultFlow returns the paper's DCN flow configuration for a packet
+// size.
+func DefaultFlow(packetBytes int) FlowConfig { return e2esim.DefaultDCN(packetBytes) }
+
+// Runtime operations.
+
+// Controller installs and removes rules on a live deployment.
+type Controller = deploy.Controller
+
+// NewController wraps a deployment for runtime rule management.
+func NewController(dep *Deployment) (*Controller, error) {
+	return deploy.NewController(dep)
+}
+
+// Replan recomputes a deployment after draining programmable switches
+// (maintenance or partial failure); the drained switches keep
+// forwarding but host no MATs.
+func Replan(old *Plan, solver Solver, opts SolveOptions, drained ...SwitchID) (*Plan, error) {
+	return placement.Replan(old, solver, opts, drained...)
+}
+
+// PlanDiff reports how many MATs changed hosting switch between two
+// plans over the same TDG — the migration cost of a replan.
+func PlanDiff(a, b *Plan) (int, error) { return placement.Diff(a, b) }
+
+// RouteOptions configure OptimizeRoutes.
+type RouteOptions = placement.RouteOptions
+
+// OptimizeRoutes re-chooses the plan's inter-switch paths among each
+// pair's k shortest (the y(u,v,p) decision variables) to minimize the
+// busiest link's piggyback load; it returns that maximum per-link byte
+// count.
+func OptimizeRoutes(p *Plan, opts RouteOptions) (int, error) {
+	return placement.OptimizeRoutes(p, opts)
+}
+
+// TrafficSpec generates Zipf-distributed packet workloads with exact
+// ground-truth flow counts.
+type TrafficSpec = dataplane.TrafficSpec
+
+// DecodePlan rehydrates a JSON-serialized plan (Plan.EncodeJSON)
+// against the TDG and topology it was computed for, validating it under
+// the default resource model.
+func DecodePlan(data []byte, g *TDG, topo *Topology) (*Plan, error) {
+	return placement.DecodePlan(data, g, topo, program.DefaultResourceModel)
+}
+
+// Workloads.
+
+// RealPrograms returns the ten switch.p4-style evaluation programs.
+func RealPrograms() []*Program { return workload.RealPrograms() }
+
+// SyntheticPrograms generates n synthetic programs with the paper's
+// published parameters, deterministic in seed.
+func SyntheticPrograms(n int, seed int64) ([]*Program, error) {
+	return workload.SyntheticSet(n, workload.PaperSyntheticSpec(), seed)
+}
+
+// Sketches generates the Exp#6 software-defined-measurement workload.
+func Sketches(n int, seed int64) ([]*Program, error) {
+	return workload.SketchSet(n, seed)
+}

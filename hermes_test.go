@@ -1,0 +1,223 @@
+package hermes_test
+
+import (
+	"testing"
+	"time"
+
+	hermes "github.com/hermes-net/hermes"
+)
+
+// facadeWorkload builds a small two-program workload through the public
+// API only.
+func facadeWorkload(t testing.TB) []*hermes.Program {
+	t.Helper()
+	idx := hermes.MetadataField("meta.idx", 32)
+	cnt := hermes.MetadataField("meta.cnt", 32)
+	src := hermes.HeaderField("ipv4.srcAddr", 32)
+
+	monitor, err := hermes.NewProgram("monitor").
+		Table("hash", 1).
+		ActionDef("mix", hermes.HashOp(idx, src)).
+		Default("mix").
+		Table("count", 2048).
+		Key(idx, hermes.MatchExact).
+		ActionDef("bump", hermes.CountOp(cnt, idx)).
+		Default("bump").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	routerSrc := `
+program router;
+metadata nhop : 32;
+table lpm {
+  key ipv4.dstAddr : lpm;
+  capacity 4096;
+  action set_nhop { set nhop <- 1; dec ipv4.ttl; }
+  default set_nhop;
+}
+table next_hop {
+  key nhop : exact;
+  capacity 256;
+  action fwd { set meta.egress_port <- 1; }
+  default fwd;
+}
+`
+	router, err := hermes.ParseP4Lite(routerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*hermes.Program{monitor, router}
+}
+
+func facadeTopo(t testing.TB) *hermes.Topology {
+	t.Helper()
+	spec := hermes.TestbedSpec()
+	spec.Stages = 3
+	spec.StageCapacity = 0.1
+	topo, err := hermes.LinearTopology(4, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestDeployEndToEnd(t *testing.T) {
+	progs := facadeWorkload(t)
+	topo := facadeTopo(t)
+	res, err := hermes.Deploy(progs, topo, hermes.DeployOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TDG == nil || res.Plan == nil || res.Deployment == nil {
+		t.Fatal("result incomplete")
+	}
+	if res.Plan.QOcc() < 2 {
+		t.Fatalf("workload should span switches, got %d", res.Plan.QOcc())
+	}
+	if err := res.Plan.Validate(hermes.DefaultResourceModel(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exercise the deployment with generated traffic.
+	pkts, _, err := hermes.TrafficSpec{Packets: 300, Flows: 16, Seed: 5}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxHdr, err := hermes.VerifyEquivalence(res.Deployment, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxHdr > res.Plan.AMax() {
+		t.Errorf("wire header %d exceeds A_max %d", maxHdr, res.Plan.AMax())
+	}
+}
+
+func TestDeployWithAllSolvers(t *testing.T) {
+	progs := facadeWorkload(t)
+	topo := facadeTopo(t)
+	solvers := append([]hermes.Solver{hermes.GreedySolver, hermes.ExactSolver, hermes.ILPSolver},
+		hermes.Baselines()...)
+	for _, s := range solvers {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			res, err := hermes.Deploy(progs, topo, hermes.DeployOptions{
+				Solver:         s,
+				SolverDeadline: 5 * time.Second,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+			if err := res.Plan.Validate(hermes.DefaultResourceModel(), 0, 0); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRuntimeControllerThroughFacade(t *testing.T) {
+	progs := facadeWorkload(t)
+	topo := facadeTopo(t)
+	res, err := hermes.Deploy(progs, topo, hermes.DeployOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := hermes.NewController(res.Deployment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := hermes.Rule{
+		Priority: 1,
+		Matches:  map[string]hermes.Pattern{"meta.idx": {Value: 3}},
+		Action:   "bump",
+	}
+	if err := ctl.InstallRule("monitor/count", rule); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ctl.RuleCount("monitor/count")
+	if err != nil || n != 1 {
+		t.Fatalf("RuleCount = %d, %v", n, err)
+	}
+}
+
+func TestReplanThroughFacade(t *testing.T) {
+	progs := facadeWorkload(t)
+	topo := facadeTopo(t)
+	res, err := hermes.Deploy(progs, topo, hermes.DeployOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := res.Plan.UsedSwitches()
+	newPlan, err := hermes.Replan(res.Plan, hermes.GreedySolver, hermes.SolveOptions{}, used[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, err := hermes.PlanDiff(res.Plan, newPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Error("drain moved nothing")
+	}
+	for name := range newPlan.Assignments {
+		if sw, _ := newPlan.SwitchOf(name); sw == used[0] {
+			t.Errorf("MAT %q still on drained switch", name)
+		}
+	}
+}
+
+func TestOptimizeRoutesThroughFacade(t *testing.T) {
+	progs := facadeWorkload(t)
+	topo := facadeTopo(t)
+	res, err := hermes.Deploy(progs, topo, hermes.DeployOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLink, err := hermes.OptimizeRoutes(res.Plan, hermes.RouteOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxLink < 0 {
+		t.Errorf("max link = %d", maxLink)
+	}
+	if err := res.Plan.Validate(hermes.DefaultResourceModel(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpsilonConstraintsThroughFacade(t *testing.T) {
+	progs := facadeWorkload(t)
+	topo := facadeTopo(t)
+	if _, err := hermes.Deploy(progs, topo, hermes.DeployOptions{Epsilon2: 1}); err == nil {
+		t.Error("ε2=1 accepted for a multi-switch workload")
+	}
+	res, err := hermes.Deploy(progs, topo, hermes.DeployOptions{Epsilon2: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.QOcc() > 3 {
+		t.Errorf("QOcc = %d exceeds ε2=3", res.Plan.QOcc())
+	}
+}
+
+func TestWorkloadHelpersThroughFacade(t *testing.T) {
+	if len(hermes.RealPrograms()) != 10 {
+		t.Error("RealPrograms != 10")
+	}
+	syn, err := hermes.SyntheticPrograms(3, 1)
+	if err != nil || len(syn) != 3 {
+		t.Fatalf("SyntheticPrograms: %d, %v", len(syn), err)
+	}
+	sk, err := hermes.Sketches(4, 1)
+	if err != nil || len(sk) != 4 {
+		t.Fatalf("Sketches: %d, %v", len(sk), err)
+	}
+	if _, err := hermes.TableIIITopology(3, hermes.TofinoSpec()); err != nil {
+		t.Fatal(err)
+	}
+	flow := hermes.DefaultFlow(1024)
+	imp, err := flow.ImpactOf(48)
+	if err != nil || imp.FCTIncrease <= 0 {
+		t.Fatalf("ImpactOf: %+v, %v", imp, err)
+	}
+}

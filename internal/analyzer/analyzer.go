@@ -1,0 +1,213 @@
+// Package analyzer implements the Hermes program analyzer (paper §IV,
+// Algorithm 1). It converts a set of data plane programs into a single
+// merged TDG and annotates every edge (a,b) with A(a,b), the number of
+// metadata bytes the upstream MAT a must piggyback on each packet for
+// the downstream MAT b when the two are deployed on different switches.
+package analyzer
+
+import (
+	"fmt"
+
+	"github.com/hermes-net/hermes/internal/fields"
+	"github.com/hermes-net/hermes/internal/merge"
+	"github.com/hermes-net/hermes/internal/program"
+	"github.com/hermes-net/hermes/internal/tdg"
+)
+
+// Options tune the analysis.
+type Options struct {
+	// IntersectMatch, when true, restricts match-dependency metadata to
+	// the fields the downstream MAT actually reads (F_a^a ∩ reads(b))
+	// instead of Algorithm 1's literal ΣF_a^a. The paper's prose admits
+	// both readings; the default follows the algorithm listing.
+	IntersectMatch bool
+	// SkipMerge disables SPEED-style TDG merging (useful for baselines
+	// that deploy programs one by one).
+	SkipMerge bool
+}
+
+// Analyze runs the full Program Analyzer: convert programs to TDGs,
+// merge them, and compute A(a,b) for every edge. It is Algorithm 1's
+// PROGRAM_ANALYZER entry point.
+func Analyze(progs []*program.Program, opts Options) (*tdg.Graph, error) {
+	if len(progs) == 0 {
+		return nil, fmt.Errorf("analyzer: no input programs")
+	}
+	graphs := make([]*tdg.Graph, 0, len(progs))
+	seen := make(map[string]bool, len(progs))
+	for _, p := range progs {
+		if p == nil {
+			return nil, fmt.Errorf("analyzer: nil program")
+		}
+		if seen[p.Name] {
+			return nil, fmt.Errorf("analyzer: duplicate program name %q", p.Name)
+		}
+		seen[p.Name] = true
+		g, err := tdg.FromProgram(p)
+		if err != nil {
+			return nil, fmt.Errorf("analyzer: converting %q: %w", p.Name, err)
+		}
+		graphs = append(graphs, g)
+	}
+
+	var merged *tdg.Graph
+	var err error
+	if opts.SkipMerge && len(graphs) > 1 {
+		merged, err = unionAll(graphs)
+	} else {
+		merged, err = merge.Graphs(graphs)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analyzer: merging TDGs: %w", err)
+	}
+
+	if err := AnnotateMetadata(merged, opts); err != nil {
+		return nil, err
+	}
+	return merged, nil
+}
+
+// unionAll unions graphs without unifying equivalent MATs.
+func unionAll(graphs []*tdg.Graph) (*tdg.Graph, error) {
+	out := tdg.New()
+	for _, g := range graphs {
+		for _, n := range g.Nodes() {
+			if _, ok := out.Node(n.Name()); ok {
+				return nil, fmt.Errorf("analyzer: duplicate MAT %q across programs", n.Name())
+			}
+			if err := out.AddNode(n.MAT, n.Origin...); err != nil {
+				return nil, err
+			}
+		}
+		for _, e := range g.Edges() {
+			if err := out.AddEdge(e.From, e.To, e.Type, e.MetadataBytes); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// AnnotateMetadata computes A(a,b) for every edge of the graph in
+// place, per Algorithm 1's TDG_ANALYSIS:
+//
+//	M: Σ size(f) over metadata fields f ∈ F_a^a (optionally ∩ F_b^m),
+//	A: Σ size(f) over metadata fields f ∈ F_a^a ∪ F_b^a,
+//	R: nothing (b does not consume a's results),
+//	S: Σ size(f) over metadata fields f ∈ F_a^a.
+//
+// Header fields never count: they already ride in the packet.
+func AnnotateMetadata(g *tdg.Graph, opts Options) error {
+	for _, e := range g.Edges() {
+		a, ok := g.Node(e.From)
+		if !ok {
+			return fmt.Errorf("analyzer: edge from unknown node %q", e.From)
+		}
+		b, ok := g.Node(e.To)
+		if !ok {
+			return fmt.Errorf("analyzer: edge to unknown node %q", e.To)
+		}
+		size, err := EdgeMetadataBytes(a.MAT, b.MAT, e.Type, opts)
+		if err != nil {
+			return err
+		}
+		e.MetadataBytes = size
+	}
+	return nil
+}
+
+// EdgeMetadataBytes computes A(a,b) for a single dependency.
+func EdgeMetadataBytes(a, b *program.MAT, typ tdg.DepType, opts Options) (int, error) {
+	faa, err := a.ModifiedFields()
+	if err != nil {
+		return 0, fmt.Errorf("analyzer: %w", err)
+	}
+	switch typ {
+	case tdg.DepMatch:
+		if opts.IntersectMatch {
+			fbr, err := b.ReadFields()
+			if err != nil {
+				return 0, fmt.Errorf("analyzer: %w", err)
+			}
+			return faa.Intersect(fbr).MetadataBytes(), nil
+		}
+		return faa.MetadataBytes(), nil
+	case tdg.DepAction:
+		fba, err := b.ModifiedFields()
+		if err != nil {
+			return 0, fmt.Errorf("analyzer: %w", err)
+		}
+		union, err := faa.Union(fba)
+		if err != nil {
+			return 0, fmt.Errorf("analyzer: %w", err)
+		}
+		return union.MetadataBytes(), nil
+	case tdg.DepReverse:
+		return 0, nil
+	case tdg.DepSuccessor:
+		return faa.MetadataBytes(), nil
+	default:
+		return 0, fmt.Errorf("analyzer: unknown dependency type %v", typ)
+	}
+}
+
+// Report summarizes an analyzed TDG.
+type Report struct {
+	// Nodes and Edges are the merged TDG's sizes.
+	Nodes, Edges int
+	// TotalMetadataBytes sums A(a,b) over all edges.
+	TotalMetadataBytes int
+	// MaxEdgeBytes is the largest single A(a,b).
+	MaxEdgeBytes int
+	// TotalRequirement sums R(a) under the default resource model.
+	TotalRequirement float64
+}
+
+// Summarize computes a Report for an analyzed TDG.
+func Summarize(g *tdg.Graph) Report {
+	r := Report{Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	for _, e := range g.Edges() {
+		r.TotalMetadataBytes += e.MetadataBytes
+		if e.MetadataBytes > r.MaxEdgeBytes {
+			r.MaxEdgeBytes = e.MetadataBytes
+		}
+	}
+	r.TotalRequirement = g.TotalRequirement(program.DefaultResourceModel)
+	return r
+}
+
+// MetadataFields returns the metadata fields a passes along the edge
+// type; the deploy backend uses it to lay out coordination headers.
+func MetadataFields(a, b *program.MAT, typ tdg.DepType, opts Options) (fields.Set, error) {
+	faa, err := a.ModifiedFields()
+	if err != nil {
+		return fields.Set{}, fmt.Errorf("analyzer: %w", err)
+	}
+	switch typ {
+	case tdg.DepMatch:
+		if opts.IntersectMatch {
+			fbr, err := b.ReadFields()
+			if err != nil {
+				return fields.Set{}, fmt.Errorf("analyzer: %w", err)
+			}
+			return faa.Intersect(fbr).Metadata(), nil
+		}
+		return faa.Metadata(), nil
+	case tdg.DepAction:
+		fba, err := b.ModifiedFields()
+		if err != nil {
+			return fields.Set{}, fmt.Errorf("analyzer: %w", err)
+		}
+		union, err := faa.Union(fba)
+		if err != nil {
+			return fields.Set{}, fmt.Errorf("analyzer: %w", err)
+		}
+		return union.Metadata(), nil
+	case tdg.DepReverse:
+		return fields.Set{}, nil
+	case tdg.DepSuccessor:
+		return faa.Metadata(), nil
+	default:
+		return fields.Set{}, fmt.Errorf("analyzer: unknown dependency type %v", typ)
+	}
+}

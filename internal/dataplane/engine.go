@@ -1,0 +1,270 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hermes-net/hermes/internal/deploy"
+	"github.com/hermes-net/hermes/internal/network"
+	"github.com/hermes-net/hermes/internal/placement"
+	"github.com/hermes-net/hermes/internal/tdg"
+)
+
+// Result is the outcome of processing one packet.
+type Result struct {
+	// Packet is the packet after processing (header fields mutated in
+	// place).
+	Packet *Packet
+	// Writes records the final value of every field written during
+	// processing (headers and metadata), keyed by field name. Used to
+	// compare distributed execution against the single-box reference.
+	Writes map[string]uint64
+	// MaxHeaderBytes is the largest coordination header attached to the
+	// packet between any switch pair during this traversal.
+	MaxHeaderBytes int
+	// HopBytes maps each communicating pair to the header bytes carried.
+	HopBytes map[placement.RouteKey]int
+}
+
+// Engine executes a compiled deployment packet by packet, maintaining
+// stateful counters across packets.
+type Engine struct {
+	dep   *deploy.Deployment
+	exec  *matExecutor
+	order []network.SwitchID
+	// topoOrder caches the global MAT order (switch order, then stage
+	// order within a switch).
+	matOrder []string
+}
+
+// NewEngine prepares an engine for the deployment.
+func NewEngine(dep *deploy.Deployment) (*Engine, error) {
+	if dep == nil || dep.Plan == nil {
+		return nil, fmt.Errorf("dataplane: nil deployment")
+	}
+	order, err := dep.Plan.SwitchOrder()
+	if err != nil {
+		return nil, fmt.Errorf("dataplane: %w", err)
+	}
+	e := &Engine{dep: dep, exec: newMATExecutor(), order: order}
+	for _, u := range order {
+		cfg := dep.Configs[u]
+		if cfg == nil {
+			continue
+		}
+		e.matOrder = append(e.matOrder, matsInStageOrder(cfg)...)
+	}
+	return e, nil
+}
+
+// matsInStageOrder lists a switch's MATs by first stage, deduplicated.
+func matsInStageOrder(cfg *deploy.SwitchConfig) []string {
+	type entry struct {
+		name  string
+		stage int
+	}
+	first := map[string]int{}
+	for s, st := range cfg.Stages {
+		for _, e := range st {
+			if _, ok := first[e.MAT]; !ok {
+				first[e.MAT] = s
+			}
+		}
+	}
+	out := make([]entry, 0, len(first))
+	for n, s := range first {
+		out = append(out, entry{name: n, stage: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].stage != out[j].stage {
+			return out[i].stage < out[j].stage
+		}
+		return out[i].name < out[j].name
+	})
+	names := make([]string, len(out))
+	for i, e := range out {
+		names[i] = e.name
+	}
+	return names
+}
+
+// Process runs one packet through the deployed network: each used
+// switch in dependency order, MATs in stage order, with metadata
+// crossing switches only inside the compiled coordination headers.
+func (e *Engine) Process(pkt *Packet) (*Result, error) {
+	res := &Result{
+		Packet:   pkt,
+		Writes:   map[string]uint64{},
+		HopBytes: map[placement.RouteKey]int{},
+	}
+	written := map[string]bool{}
+	// exported[key][field] is the value serialized into the header.
+	exported := map[placement.RouteKey]map[string]uint64{}
+	visited := map[network.SwitchID]bool{}
+
+	for _, u := range e.order {
+		cfg := e.dep.Configs[u]
+		if cfg == nil {
+			continue
+		}
+		ctx := newContext(pkt)
+		// Import headers from already-visited upstream switches.
+		for from := range cfg.Imports {
+			if !visited[from] {
+				continue
+			}
+			key := placement.RouteKey{From: from, To: u}
+			for name, v := range exported[key] {
+				ctx.meta[name] = v
+				ctx.produced[name] = true
+			}
+		}
+		// Execute the switch's MATs in stage order.
+		for _, matName := range matsInStageOrder(cfg) {
+			node, ok := e.dep.Plan.Graph.Node(matName)
+			if !ok {
+				return nil, fmt.Errorf("dataplane: deployed MAT %q missing from TDG", matName)
+			}
+			before := snapshot(ctx, pkt)
+			if err := e.exec.execute(node.MAT, ctx, written); err != nil {
+				return nil, err
+			}
+			recordWrites(before, ctx, pkt, res.Writes, written)
+		}
+		visited[u] = true
+		// Export coordination headers toward downstream switches.
+		for to, hdr := range cfg.Exports {
+			key := placement.RouteKey{From: u, To: to}
+			vals := map[string]uint64{}
+			for _, f := range hdr.Fields {
+				v, ok := ctx.meta[f.Name]
+				if !ok {
+					// The field is in the header but this switch never
+					// produced or received it; default zero (it may be
+					// produced only on some execution paths).
+					v = 0
+				}
+				vals[f.Name] = v
+			}
+			exported[key] = vals
+			res.HopBytes[key] = hdr.Bytes
+			if hdr.Bytes > res.MaxHeaderBytes {
+				res.MaxHeaderBytes = hdr.Bytes
+			}
+		}
+	}
+	return res, nil
+}
+
+// snapshot captures current values of all fields for write detection.
+func snapshot(c *context, pkt *Packet) map[string]uint64 {
+	out := make(map[string]uint64, len(c.meta)+len(pkt.Headers))
+	for k, v := range c.meta {
+		out[k] = v
+	}
+	for k, v := range pkt.Headers {
+		out["hdr:"+k] = v
+	}
+	return out
+}
+
+// recordWrites diffs the context against the snapshot and records
+// changed or new fields.
+func recordWrites(before map[string]uint64, c *context, pkt *Packet, writes map[string]uint64, written map[string]bool) {
+	for k, v := range c.meta {
+		if old, ok := before[k]; !ok || old != v {
+			writes[k] = v
+			written[k] = true
+		}
+	}
+	for k, v := range pkt.Headers {
+		if old, ok := before["hdr:"+k]; !ok || old != v {
+			writes[k] = v
+		}
+	}
+}
+
+// ReferenceEngine executes the merged TDG on a single unconstrained
+// "big switch": the ground truth for distributed-equals-centralized
+// checks (and the Exp#6 ground truth for resource accounting).
+type ReferenceEngine struct {
+	graph *tdg.Graph
+	exec  *matExecutor
+	order []string
+}
+
+// NewReferenceEngine prepares a single-box engine for the TDG.
+func NewReferenceEngine(g *tdg.Graph) (*ReferenceEngine, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("dataplane: %w", err)
+	}
+	return &ReferenceEngine{graph: g, exec: newMATExecutor(), order: order}, nil
+}
+
+// Process runs one packet through every MAT in topological order with
+// all metadata visible.
+func (e *ReferenceEngine) Process(pkt *Packet) (*Result, error) {
+	res := &Result{Packet: pkt, Writes: map[string]uint64{}, HopBytes: map[placement.RouteKey]int{}}
+	ctx := newContext(pkt)
+	written := map[string]bool{}
+	for _, name := range e.order {
+		node, _ := e.graph.Node(name)
+		before := snapshot(ctx, pkt)
+		if err := e.exec.execute(node.MAT, ctx, written); err != nil {
+			return nil, err
+		}
+		recordWrites(before, ctx, pkt, res.Writes, written)
+	}
+	return res, nil
+}
+
+// EquivalentRuns processes the same packet stream through a deployed
+// engine and a reference engine and verifies identical write histories;
+// it returns the distributed run's max header bytes.
+func EquivalentRuns(dep *deploy.Deployment, packets []*Packet) (int, error) {
+	eng, err := NewEngine(dep)
+	if err != nil {
+		return 0, err
+	}
+	ref, err := NewReferenceEngine(dep.Plan.Graph)
+	if err != nil {
+		return 0, err
+	}
+	maxHdr := 0
+	for i, p := range packets {
+		dres, err := eng.Process(p.Clone())
+		if err != nil {
+			return 0, fmt.Errorf("dataplane: distributed run, packet %d: %w", i, err)
+		}
+		rres, err := ref.Process(p.Clone())
+		if err != nil {
+			return 0, fmt.Errorf("dataplane: reference run, packet %d: %w", i, err)
+		}
+		if err := compareWrites(rres.Writes, dres.Writes); err != nil {
+			return 0, fmt.Errorf("dataplane: packet %d diverged: %w", i, err)
+		}
+		if dres.MaxHeaderBytes > maxHdr {
+			maxHdr = dres.MaxHeaderBytes
+		}
+	}
+	return maxHdr, nil
+}
+
+func compareWrites(ref, dist map[string]uint64) error {
+	for k, rv := range ref {
+		dv, ok := dist[k]
+		if !ok {
+			return fmt.Errorf("field %q written in reference but not distributed", k)
+		}
+		if dv != rv {
+			return fmt.Errorf("field %q = %d distributed vs %d reference", k, dv, rv)
+		}
+	}
+	for k := range dist {
+		if _, ok := ref[k]; !ok {
+			return fmt.Errorf("field %q written only in distributed run", k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package dataplane
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hermes-net/hermes/internal/analyzer"
+	"github.com/hermes-net/hermes/internal/deploy"
+	"github.com/hermes-net/hermes/internal/fields"
+	"github.com/hermes-net/hermes/internal/network"
+	"github.com/hermes-net/hermes/internal/placement"
+	"github.com/hermes-net/hermes/internal/program"
+	"github.com/hermes-net/hermes/internal/workload"
+)
+
+func TestTrafficSpecValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		spec TrafficSpec
+		ok   bool
+	}{
+		{"valid", TrafficSpec{Packets: 10, Flows: 3}, true},
+		{"zero packets", TrafficSpec{Flows: 3}, false},
+		{"zero flows", TrafficSpec{Packets: 10}, false},
+		{"bad skew", TrafficSpec{Packets: 10, Flows: 3, Skew: 0.5}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, _, err := tt.spec.Generate()
+			if (err == nil) != tt.ok {
+				t.Errorf("Generate err = %v, ok = %v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestTrafficIsZipfSkewedAndDeterministic(t *testing.T) {
+	spec := TrafficSpec{Packets: 5000, Flows: 200, Seed: 3}
+	pkts, truth, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 5000 {
+		t.Fatalf("packets = %d", len(pkts))
+	}
+	total := uint64(0)
+	max := uint64(0)
+	for _, c := range truth {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total != 5000 {
+		t.Errorf("ground truth sums to %d", total)
+	}
+	// Zipf: the top flow should dominate well beyond uniform share.
+	if max < 5000/uint64(len(truth))*5 {
+		t.Errorf("top flow count %d not heavy-tailed", max)
+	}
+	// Determinism.
+	pkts2, truth2, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts2) != len(pkts) || len(truth2) != len(truth) {
+		t.Error("regeneration differs")
+	}
+	for k, v := range truth {
+		if truth2[k] != v {
+			t.Fatalf("flow %v count %d vs %d across equal seeds", k, v, truth2[k])
+		}
+	}
+}
+
+// TestDistributedSketchAccuracy deploys the heavy-hitter program over
+// two switches and checks that the distributed flow counter matches
+// single-box semantics while estimating true counts with the usual
+// hash-collision error: a full measurement-application workout of the
+// simulator.
+func TestDistributedSketchAccuracy(t *testing.T) {
+	prog := workload.HeavyHitter()
+	g, err := analyzer.Analyze([]*program.Program{prog}, analyzer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := network.NewTopology("tb")
+	for i := 0; i < 2; i++ {
+		tp.AddSwitch(network.Switch{
+			Programmable: true, Stages: 3, StageCapacity: 0.2,
+			TransitLatency: time.Microsecond,
+		})
+	}
+	if err := tp.AddLink(0, 1, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := (placement.Greedy{}).Solve(g, tp, placement.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.QOcc() != 2 {
+		t.Fatalf("test expects a 2-switch split, got %d", plan.QOcc())
+	}
+	dep, err := deploy.Compile(plan, analyzer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pkts, truth, err := TrafficSpec{Packets: 3000, Flows: 64, Seed: 7}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := NewEngine(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewReferenceEngine(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// estimates[flow] is the last observed count for the flow, which for
+	// a per-flow counter equals its final count (modulo collisions).
+	estimate := map[FlowKey]uint64{}
+	for i, p := range pkts {
+		dres, err := eng.Process(p.Clone())
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		rres, err := ref.Process(p.Clone())
+		if err != nil {
+			t.Fatalf("reference packet %d: %v", i, err)
+		}
+		if dres.Writes["meta.count"] != rres.Writes["meta.count"] {
+			t.Fatalf("packet %d: distributed count %d != reference %d",
+				i, dres.Writes["meta.count"], rres.Writes["meta.count"])
+		}
+		key := FlowKey{
+			Src:     p.Headers[fields.IPv4Src],
+			Dst:     p.Headers[fields.IPv4Dst],
+			SrcPort: p.Headers[fields.TCPSrc],
+			DstPort: p.Headers[fields.TCPDst],
+			Proto:   p.Headers[fields.IPv4Proto],
+		}
+		estimate[key] = dres.Writes["meta.count"]
+	}
+	// Hash counters can only overestimate (collisions merge flows).
+	overestimates := 0
+	for flow, est := range estimate {
+		if est < truth[flow] {
+			t.Errorf("flow %v estimated %d < true %d (counters cannot undercount)",
+				flow, est, truth[flow])
+		}
+		if est > truth[flow] {
+			overestimates++
+		}
+	}
+	// With 64 flows over 4096 slots collisions are rare but possible;
+	// the estimate must be exact for the vast majority.
+	if overestimates > len(estimate)/4 {
+		t.Errorf("%d of %d flows overestimated; collision rate implausible", overestimates, len(estimate))
+	}
+}

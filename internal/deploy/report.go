@@ -1,0 +1,76 @@
+package deploy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/hermes-net/hermes/internal/network"
+	"github.com/hermes-net/hermes/internal/program"
+)
+
+// Report renders a human-readable operations view of the deployment:
+// per-switch stage occupancy, the MATs each stage runs, and the
+// coordination headers on every communicating pair. The hermes CLI's
+// -report flag prints it.
+func (d *Deployment) Report(rm program.ResourceModel) string {
+	var b strings.Builder
+	plan := d.Plan
+	fmt.Fprintf(&b, "deployment: %s\n", plan.Summary())
+
+	ids := make([]network.SwitchID, 0, len(d.Configs))
+	for id := range d.Configs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	for _, id := range ids {
+		cfg := d.Configs[id]
+		sw, err := plan.Topo.Switch(id)
+		if err != nil {
+			fmt.Fprintf(&b, "switch %d: <unknown: %v>\n", id, err)
+			continue
+		}
+		used := 0.0
+		for _, st := range cfg.Stages {
+			for _, e := range st {
+				used += e.Amount
+			}
+		}
+		fmt.Fprintf(&b, "\nswitch %d (%s): %d MATs, %.2f/%.2f stage-units\n",
+			id, sw.Name, len(cfg.MATNames()), used, sw.Capacity())
+		for s, entries := range cfg.Stages {
+			if len(entries) == 0 {
+				continue
+			}
+			var parts []string
+			total := 0.0
+			for _, e := range entries {
+				parts = append(parts, fmt.Sprintf("%s(%.2f)", e.MAT, e.Amount))
+				total += e.Amount
+			}
+			fmt.Fprintf(&b, "  stage %2d [%4.0f%%]: %s\n",
+				s, total/sw.StageCapacity*100, strings.Join(parts, " "))
+		}
+		// Maps iterate randomly; reports must be stable.
+		dests := make([]network.SwitchID, 0, len(cfg.Exports))
+		for to := range cfg.Exports {
+			dests = append(dests, to)
+		}
+		sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+		for _, to := range dests {
+			hdr := cfg.Exports[to]
+			var names []string
+			for _, f := range hdr.Fields {
+				names = append(names, f.Name)
+			}
+			fmt.Fprintf(&b, "  -> switch %d: %dB header {%s}\n",
+				to, hdr.Bytes, strings.Join(names, ", "))
+		}
+	}
+
+	if len(d.Headers) == 0 {
+		b.WriteString("\nno inter-switch coordination required\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package deploy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/hermes-net/hermes/internal/network"
+	"github.com/hermes-net/hermes/internal/program"
+)
+
+// Controller is the runtime side of the backend (paper §VI-A: "at
+// runtime, it invokes the network controller"): it installs and removes
+// user rules on deployed MATs, routing each update to the switch that
+// hosts the table and enforcing the table's capacity C_a. It is safe
+// for concurrent use.
+type Controller struct {
+	mu  sync.Mutex
+	dep *Deployment
+	// hosts maps MAT name to its hosting switch, precomputed.
+	hosts map[string]network.SwitchID
+}
+
+// NewController wraps a compiled deployment.
+func NewController(dep *Deployment) (*Controller, error) {
+	if dep == nil || dep.Plan == nil {
+		return nil, fmt.Errorf("deploy: controller over nil deployment")
+	}
+	hosts := make(map[string]network.SwitchID, len(dep.Plan.Assignments))
+	for name, sp := range dep.Plan.Assignments {
+		hosts[name] = sp.Switch
+	}
+	return &Controller{dep: dep, hosts: hosts}, nil
+}
+
+// HostingSwitch reports which switch runs the named MAT.
+func (c *Controller) HostingSwitch(mat string) (network.SwitchID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id, ok := c.hosts[mat]
+	if !ok {
+		return 0, fmt.Errorf("deploy: MAT %q is not deployed", mat)
+	}
+	return id, nil
+}
+
+// lookupMAT returns the live MAT struct shared with the data plane
+// engine. Caller holds the lock.
+func (c *Controller) lookupMAT(mat string) (*program.MAT, error) {
+	node, ok := c.dep.Plan.Graph.Node(mat)
+	if !ok {
+		return nil, fmt.Errorf("deploy: MAT %q is not deployed", mat)
+	}
+	return node.MAT, nil
+}
+
+// InstallRule adds a rule to the named MAT, enforcing validity and the
+// rule capacity C_a. Updates take effect on the next processed packet.
+func (c *Controller) InstallRule(mat string, r program.Rule) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, err := c.lookupMAT(mat)
+	if err != nil {
+		return err
+	}
+	if err := m.ValidateRule(r); err != nil {
+		return fmt.Errorf("deploy: %w", err)
+	}
+	if len(m.Rules) >= m.Capacity {
+		return fmt.Errorf("deploy: MAT %q is full (%d/%d rules)", mat, len(m.Rules), m.Capacity)
+	}
+	m.Rules = append(m.Rules, r)
+	return nil
+}
+
+// RemoveRule deletes the rule at the given installation index.
+func (c *Controller) RemoveRule(mat string, index int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, err := c.lookupMAT(mat)
+	if err != nil {
+		return err
+	}
+	if index < 0 || index >= len(m.Rules) {
+		return fmt.Errorf("deploy: MAT %q has no rule %d (have %d)", mat, index, len(m.Rules))
+	}
+	m.Rules = append(m.Rules[:index], m.Rules[index+1:]...)
+	return nil
+}
+
+// RuleCount reports how many rules the named MAT holds.
+func (c *Controller) RuleCount(mat string) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, err := c.lookupMAT(mat)
+	if err != nil {
+		return 0, err
+	}
+	return len(m.Rules), nil
+}
+
+// SwitchLoad summarizes one switch's control-plane exposure: how many
+// deployed MATs and installed rules it carries (MTP's motivation is
+// bounding exactly this).
+type SwitchLoad struct {
+	Switch network.SwitchID
+	MATs   int
+	Rules  int
+}
+
+// Loads reports the per-switch MAT/rule load, ascending by switch.
+func (c *Controller) Loads() []SwitchLoad {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	agg := map[network.SwitchID]*SwitchLoad{}
+	for name, sw := range c.hosts {
+		l := agg[sw]
+		if l == nil {
+			l = &SwitchLoad{Switch: sw}
+			agg[sw] = l
+		}
+		l.MATs++
+		if node, ok := c.dep.Plan.Graph.Node(name); ok {
+			l.Rules += len(node.MAT.Rules)
+		}
+	}
+	out := make([]SwitchLoad, 0, len(agg))
+	for _, l := range agg {
+		out = append(out, *l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Switch < out[j].Switch })
+	return out
+}

@@ -1,0 +1,147 @@
+package deploy
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/hermes-net/hermes/internal/program"
+)
+
+func TestControllerInstallAndRemove(t *testing.T) {
+	dep, _ := compiled(t)
+	ctl, err := NewController(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// p/count matches meta.idx exactly and runs action "c".
+	rule := program.Rule{
+		Priority: 5,
+		Matches:  map[string]program.Pattern{"meta.idx": {Value: 7}},
+		Action:   "c",
+	}
+	if err := ctl.InstallRule("p/count", rule); err != nil {
+		t.Fatalf("InstallRule: %v", err)
+	}
+	n, err := ctl.RuleCount("p/count")
+	if err != nil || n != 1 {
+		t.Fatalf("RuleCount = %d, %v; want 1", n, err)
+	}
+	if err := ctl.RemoveRule("p/count", 0); err != nil {
+		t.Fatalf("RemoveRule: %v", err)
+	}
+	n, _ = ctl.RuleCount("p/count")
+	if n != 0 {
+		t.Errorf("RuleCount after remove = %d", n)
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	dep, _ := compiled(t)
+	ctl, err := NewController(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.InstallRule("nope", program.Rule{Action: "c"}); err == nil {
+		t.Error("install on unknown MAT accepted")
+	}
+	if err := ctl.InstallRule("p/count", program.Rule{Action: "missing"}); err == nil {
+		t.Error("unknown action accepted")
+	}
+	if err := ctl.InstallRule("p/count", program.Rule{
+		Action:  "c",
+		Matches: map[string]program.Pattern{"ipv4.ttl": {Value: 1}},
+	}); err == nil {
+		t.Error("non-key match accepted")
+	}
+	if err := ctl.InstallRule("p/count", program.Rule{
+		Action: "c",
+		Params: map[string]uint64{"meta.never": 1},
+	}); err == nil {
+		t.Error("parameter for unwritten field accepted")
+	}
+	if err := ctl.RemoveRule("p/count", 0); err == nil {
+		t.Error("remove from empty table accepted")
+	}
+	if _, err := ctl.RuleCount("nope"); err == nil {
+		t.Error("RuleCount of unknown MAT accepted")
+	}
+	if _, err := NewController(nil); err == nil {
+		t.Error("nil deployment accepted")
+	}
+}
+
+func TestControllerCapacityEnforced(t *testing.T) {
+	dep, _ := compiled(t)
+	ctl, err := NewController(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, _ := dep.Plan.Graph.Node("p/count")
+	node.MAT.Capacity = 2
+	node.MAT.Rules = nil
+	rule := program.Rule{Action: "c"}
+	for i := 0; i < 2; i++ {
+		if err := ctl.InstallRule("p/count", rule); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ctl.InstallRule("p/count", rule); err == nil {
+		t.Error("install beyond capacity accepted")
+	}
+}
+
+func TestControllerHostingAndLoads(t *testing.T) {
+	dep, plan := compiled(t)
+	ctl, err := NewController(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := ctl.HostingSwitch("p/count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := plan.SwitchOf("p/count")
+	if sw != want {
+		t.Errorf("HostingSwitch = %d, want %d", sw, want)
+	}
+	if _, err := ctl.HostingSwitch("nope"); err == nil {
+		t.Error("unknown MAT accepted")
+	}
+	loads := ctl.Loads()
+	totalMATs := 0
+	for _, l := range loads {
+		totalMATs += l.MATs
+	}
+	if totalMATs != plan.Graph.NumNodes() {
+		t.Errorf("Loads cover %d MATs, want %d", totalMATs, plan.Graph.NumNodes())
+	}
+}
+
+func TestControllerConcurrentUpdates(t *testing.T) {
+	dep, _ := compiled(t)
+	ctl, err := NewController(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, _ := dep.Plan.Graph.Node("p/count")
+	node.MAT.Capacity = 1024
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = ctl.InstallRule("p/count", program.Rule{Action: "c"})
+			}
+		}()
+	}
+	wg.Wait()
+	n, err := ctl.RuleCount("p/count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 400 {
+		t.Errorf("concurrent installs = %d, want 400", n)
+	}
+}

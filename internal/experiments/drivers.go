@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/hermes-net/hermes/internal/analyzer"
+	"github.com/hermes-net/hermes/internal/baseline"
+	"github.com/hermes-net/hermes/internal/dataplane"
+	"github.com/hermes-net/hermes/internal/deploy"
+	"github.com/hermes-net/hermes/internal/e2esim"
+	"github.com/hermes-net/hermes/internal/fields"
+	"github.com/hermes-net/hermes/internal/network"
+	"github.com/hermes-net/hermes/internal/placement"
+	"github.com/hermes-net/hermes/internal/program"
+	"github.com/hermes-net/hermes/internal/tdg"
+	"github.com/hermes-net/hermes/internal/workload"
+)
+
+// --- Figure 2: motivation sweep ---
+
+// Fig2Point is one point of Figure 2.
+type Fig2Point struct {
+	PacketBytes     int
+	OverheadBytes   int
+	FCTIncrease     float64
+	GoodputDecrease float64
+}
+
+// Figure2 sweeps the per-packet overhead for the paper's three packet
+// sizes.
+func Figure2() ([]Fig2Point, error) {
+	var out []Fig2Point
+	for _, size := range e2esim.Figure2PacketSizes() {
+		cfg := e2esim.DefaultDCN(size)
+		for _, h := range e2esim.Figure2Overheads() {
+			imp, err := cfg.ImpactOf(h)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: figure 2: %w", err)
+			}
+			out = append(out, Fig2Point{
+				PacketBytes:     size,
+				OverheadBytes:   h,
+				FCTIncrease:     imp.FCTIncrease,
+				GoodputDecrease: imp.GoodputDecrease,
+			})
+		}
+	}
+	return out, nil
+}
+
+// --- Exp#1: testbed (Figure 5) ---
+
+// Exp1Row is one x-axis point of Figure 5: all solvers at a program
+// count.
+type Exp1Row struct {
+	Programs int
+	Results  []SolverResult
+}
+
+// testbedTopology builds the paper's 3-Tofino linear testbed with the
+// calibrated stage capacity.
+func testbedTopology(cfg Config) (*network.Topology, error) {
+	spec := network.TestbedSpec()
+	spec.StageCapacity = cfg.TestbedStageCapacity
+	return network.Linear(3, spec)
+}
+
+// Exp1 deploys 2..10 real programs on the testbed with every solver.
+func Exp1(cfg Config) ([]Exp1Row, error) {
+	topo, err := testbedTopology(cfg)
+	if err != nil {
+		return nil, err
+	}
+	real := workload.RealPrograms()
+	var rows []Exp1Row
+	for n := 2; n <= len(real); n += 2 {
+		inst, err := buildInstance(real[:n], topo)
+		if err != nil {
+			return nil, err
+		}
+		row := Exp1Row{Programs: n}
+		for _, spec := range solverSpecs(cfg) {
+			row.Results = append(row.Results, runSolver(spec, inst, cfg))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// --- Exp#2/#3/#4: large-scale simulation (Figures 6, 7, 8) ---
+
+// TopoRow is one topology's results (Exp#2 overhead, Exp#3 time, Exp#4
+// end-to-end impact all read off the same solver runs).
+type TopoRow struct {
+	Topology int
+	Nodes    int
+	Edges    int
+	Results  []SolverResult
+}
+
+// Exp2 deploys `programs` concurrent programs (the paper uses 50) on
+// each of the ten Table III topologies.
+func Exp2(cfg Config, programs int) ([]TopoRow, error) {
+	progs, err := workload.EvaluationPrograms(programs, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []TopoRow
+	for i := 1; i <= network.NumTableIII(); i++ {
+		topo, err := network.TableIII(i, network.TofinoSpec())
+		if err != nil {
+			return nil, err
+		}
+		inst, err := buildInstance(progs, topo)
+		if err != nil {
+			return nil, err
+		}
+		nodes, edges, err := network.TableIIISize(i)
+		if err != nil {
+			return nil, err
+		}
+		row := TopoRow{Topology: i, Nodes: nodes, Edges: edges}
+		for _, spec := range solverSpecs(cfg) {
+			row.Results = append(row.Results, runSolver(spec, inst, cfg))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// --- Exp#5: scalability (Figure 9) ---
+
+// ScaleRow is one program-count point on topology 10.
+type ScaleRow struct {
+	Programs int
+	Results  []SolverResult
+}
+
+// Exp5 varies the number of concurrent programs from 10 to 50 on the
+// tenth topology.
+func Exp5(cfg Config) ([]ScaleRow, error) {
+	topo, err := network.TableIII(10, network.TofinoSpec())
+	if err != nil {
+		return nil, err
+	}
+	var rows []ScaleRow
+	for n := 10; n <= 50; n += 10 {
+		progs, err := workload.EvaluationPrograms(n, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		inst, err := buildInstance(progs, topo)
+		if err != nil {
+			return nil, err
+		}
+		row := ScaleRow{Programs: n}
+		for _, spec := range solverSpecs(cfg) {
+			row.Results = append(row.Results, runSolver(spec, inst, cfg))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// --- Exp#6: switch resource consumption ---
+
+// Exp6Result reports resource accounting for the SDM scenario.
+type Exp6Result struct {
+	// GroundTruth is the summed per-sketch resource requirement when
+	// each sketch is deployed alone (no coordination active).
+	GroundTruth float64
+	// HermesUsed is the total resources consumed by the Hermes
+	// deployment of all sketches at once.
+	HermesUsed float64
+	// SPEEDUsed is the same for SPEED.
+	SPEEDUsed float64
+	// MergeSavings is the resource amount merging eliminated.
+	MergeSavings float64
+	// HermesExtra is HermesUsed minus the merged workload's inherent
+	// requirement — the coordination overhead Exp#6 claims is zero.
+	HermesExtra float64
+}
+
+// Exp6 deploys ten sketches and accounts for switch resources. The
+// sketch workload is denser than the Exp#1 mix, so Exp#6 uses its own
+// testbed calibration (0.3 stage capacity) regardless of cfg.
+func Exp6(cfg Config) (*Exp6Result, error) {
+	if cfg.TestbedStageCapacity < 0.3 {
+		cfg.TestbedStageCapacity = 0.3
+	}
+	sketches, err := workload.SketchSet(10, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rm := program.DefaultResourceModel
+
+	// Ground truth: each sketch alone.
+	ground := 0.0
+	for _, s := range sketches {
+		g, err := analyzer.Analyze([]*program.Program{s}, analyzer.Options{})
+		if err != nil {
+			return nil, err
+		}
+		ground += g.TotalRequirement(rm)
+	}
+
+	merged, err := analyzer.Analyze(sketches, analyzer.Options{})
+	if err != nil {
+		return nil, err
+	}
+	inherent := merged.TotalRequirement(rm)
+
+	topo, err := testbedTopology(cfg)
+	if err != nil {
+		return nil, err
+	}
+	planUsed := func(p *placement.Plan) float64 {
+		total := 0.0
+		for _, sp := range p.Assignments {
+			total += sp.Total()
+		}
+		return total
+	}
+	hermesPlan, err := (placement.Greedy{}).Solve(merged, topo, placement.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: exp6 hermes: %w", err)
+	}
+	speedPlan, err := runSpeedForExp6(merged, topo)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: exp6 speed: %w", err)
+	}
+	return &Exp6Result{
+		GroundTruth:  ground,
+		HermesUsed:   planUsed(hermesPlan),
+		SPEEDUsed:    planUsed(speedPlan),
+		MergeSavings: ground - inherent,
+		HermesExtra:  planUsed(hermesPlan) - inherent,
+	}, nil
+}
+
+func runSpeedForExp6(merged *tdg.Graph, topo *network.Topology) (*placement.Plan, error) {
+	return (baseline.SPEED{}).Solve(merged, topo, placement.Options{})
+}
+
+// runEquivalence drives random packets through the deployment and the
+// single-box reference.
+func runEquivalence(dep *deploy.Deployment, packets int, seed int64) (int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	pkts := make([]*dataplane.Packet, packets)
+	for i := range pkts {
+		pkts[i] = &dataplane.Packet{Headers: map[string]uint64{
+			fields.IPv4Src:   uint64(rng.Intn(64)),
+			fields.IPv4Dst:   uint64(rng.Intn(64)),
+			fields.IPv4Proto: 6,
+			fields.IPv4TTL:   64,
+			fields.IPv4DSCP:  uint64(rng.Intn(8)),
+			fields.TCPSrc:    uint64(1024 + rng.Intn(1024)),
+			fields.TCPDst:    uint64(rng.Intn(1024)),
+			fields.UDPSrc:    uint64(rng.Intn(1024)),
+			fields.UDPDst:    uint64(rng.Intn(1024)),
+			fields.EthSrc:    uint64(rng.Intn(1 << 20)),
+			fields.EthDst:    uint64(rng.Intn(1 << 20)),
+			fields.EthType:   0x0800,
+			fields.VlanID:    uint64(rng.Intn(16)),
+		}}
+	}
+	return dataplane.EquivalentRuns(dep, pkts)
+}
+
+// --- verification: distributed execution equals single-box ---
+
+// VerifyDeployment compiles the Hermes plan for the given programs on
+// the testbed and checks packet-level equivalence between the
+// distributed deployment and single-box execution; it returns the
+// measured max coordination header bytes.
+func VerifyDeployment(cfg Config, progs []*program.Program, packets int) (int, error) {
+	topo, err := testbedTopology(cfg)
+	if err != nil {
+		return 0, err
+	}
+	merged, err := analyzer.Analyze(progs, analyzer.Options{})
+	if err != nil {
+		return 0, err
+	}
+	plan, err := (placement.Greedy{}).Solve(merged, topo, placement.Options{})
+	if err != nil {
+		return 0, err
+	}
+	dep, err := deploy.Compile(plan, analyzer.Options{})
+	if err != nil {
+		return 0, err
+	}
+	if err := dep.Verify(); err != nil {
+		return 0, err
+	}
+	return runEquivalence(dep, packets, cfg.Seed)
+}

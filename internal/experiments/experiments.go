@@ -1,0 +1,269 @@
+// Package experiments reproduces every experiment of the paper's
+// evaluation (§VI): the motivation sweep of Figure 2, the testbed study
+// Exp#1 (Fig. 5), the large-scale simulation Exp#2–Exp#4 (Fig. 6–8),
+// the scalability study Exp#5 (Fig. 9), and the resource-consumption
+// study Exp#6. The cmd/hermes-bench binary and the top-level Go
+// benchmarks drive these functions and print the same rows and series
+// the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hermes-net/hermes/internal/analyzer"
+	"github.com/hermes-net/hermes/internal/baseline"
+	"github.com/hermes-net/hermes/internal/deploy"
+	"github.com/hermes-net/hermes/internal/e2esim"
+	"github.com/hermes-net/hermes/internal/network"
+	"github.com/hermes-net/hermes/internal/placement"
+	"github.com/hermes-net/hermes/internal/program"
+	"github.com/hermes-net/hermes/internal/tdg"
+)
+
+// Config bundles the knobs shared by experiments.
+type Config struct {
+	// Seed makes workloads and topologies deterministic.
+	Seed int64
+	// SolverDeadline caps each exact/ILP solver invocation. The paper
+	// caps Gurobi at two hours and plots capped runs as 10^7 ms bars;
+	// we default to 3 s per instance so the full suite stays laptop-
+	// sized, and mark capped results the same way.
+	SolverDeadline time.Duration
+	// TestbedStageCapacity calibrates Exp#1's per-stage capacity so the
+	// largest program (the count-min sketch) overflows a single switch,
+	// as on the paper's Tofinos (whose pipelines the ten switch.p4
+	// variants saturate); 0.15 puts the ten-program workload at ~2.4
+	// switch loads on the 3-switch testbed.
+	TestbedStageCapacity float64
+	// IncludeILPFrameworks enables the genuinely ILP-backed comparison
+	// frameworks (slow by design); when false only the heuristic
+	// baselines run.
+	IncludeILPFrameworks bool
+	// PacketBytes is the packet size for end-to-end impact (the paper
+	// uses 1024-byte packets in Exp#4).
+	PacketBytes int
+}
+
+// DefaultConfig returns the settings used throughout EXPERIMENTS.md.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                 1,
+		SolverDeadline:       3 * time.Second,
+		TestbedStageCapacity: 0.15,
+		IncludeILPFrameworks: true,
+		PacketBytes:          1024,
+	}
+}
+
+// CappedExecTime is the bar height the paper assigns to runs exceeding
+// the solver cap (10^7 ms in Fig. 7/9).
+const CappedExecTime = 10_000_000 * time.Millisecond
+
+// SolverResult is one solver's outcome on one instance.
+type SolverResult struct {
+	Solver string
+	// Err is non-empty when the solver failed outright.
+	Err string
+	// AMax is the per-packet byte overhead by Eq. 1 (per-pair sums of
+	// A(a,b); shared fields count once per edge).
+	AMax int
+	// HeaderBytes is the realized overhead: the largest compiled
+	// coordination header, with fields shared by several dependencies
+	// deduplicated — what a testbed would measure on the wire.
+	HeaderBytes int
+	// TotalCross is the summed cross-switch metadata.
+	TotalCross int
+	// QOcc is the number of occupied switches.
+	QOcc int
+	// ExecTime is the solver's wall-clock time; capped runs report
+	// CappedExecTime, matching the paper's plotting convention.
+	ExecTime time.Duration
+	// Capped marks deadline-capped solver runs.
+	Capped bool
+	// FCTOverhead and GoodputLoss are the end-to-end penalties of AMax
+	// under the Exp#4 flow model (fractions, e.g. 0.15 = +15% FCT).
+	FCTOverhead float64
+	GoodputLoss float64
+}
+
+// instance bundles the analyzed workload for one experiment point.
+type instance struct {
+	merged *tdg.Graph // SPEED-merged TDG (network-wide frameworks)
+	union  *tdg.Graph // per-program union (one-by-one frameworks)
+	topo   *network.Topology
+}
+
+// buildInstance analyzes the programs both ways.
+func buildInstance(progs []*program.Program, topo *network.Topology) (*instance, error) {
+	merged, err := analyzer.Analyze(progs, analyzer.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	union, err := analyzer.Analyze(progs, analyzer.Options{SkipMerge: true})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return &instance{merged: merged, union: union, topo: topo}, nil
+}
+
+// solverSpec describes how to run one comparison point.
+type solverSpec struct {
+	name string
+	// useMerged picks the merged TDG (network-wide frameworks merge;
+	// one-by-one frameworks deploy per-program graphs).
+	useMerged bool
+	// run executes the solver.
+	run func(g *tdg.Graph, topo *network.Topology, opts placement.Options) (*placement.Plan, error)
+	// ilpBacked marks frameworks the paper implements on Gurobi; their
+	// runtime is dominated by the MILP solve and is deadline-capped.
+	ilpBacked bool
+	// fallback recovers a plan for quality metrics when the ILP solve
+	// caps out (the paper still reports their placements, obtained from
+	// the incumbent; we use the behavioral heuristic).
+	fallback func(g *tdg.Graph, topo *network.Topology, opts placement.Options) (*placement.Plan, error)
+}
+
+// solverSpecs returns the full comparison lineup of §VI-A.
+func solverSpecs(cfg Config) []solverSpec {
+	specs := []solverSpec{
+		{
+			name:      "Hermes",
+			useMerged: true,
+			run:       placement.Greedy{}.Solve,
+		},
+		{
+			name:      "Optimal",
+			useMerged: true,
+			ilpBacked: true,
+			run: func(g *tdg.Graph, topo *network.Topology, opts placement.Options) (*placement.Plan, error) {
+				return (placement.Exact{}).Solve(g, topo, opts)
+			},
+			fallback: placement.Greedy{}.Solve,
+		},
+	}
+	if !cfg.IncludeILPFrameworks {
+		for _, b := range baseline.All() {
+			b := b
+			specs = append(specs, solverSpec{
+				name:      b.Name(),
+				useMerged: usesMergedTDG(b.Name()),
+				run:       b.Solve,
+			})
+		}
+		return specs
+	}
+	// The paper implements MS, Sonata, SPEED, MTP, FP and P4All on the
+	// same ILP solver; FFL and FFLS stay heuristic.
+	type ilpBase struct {
+		name      string
+		objective placement.ILPObjective
+		behavior  placement.Solver
+	}
+	for _, ib := range []ilpBase{
+		{"MS", placement.ObjSwitches, baseline.MinStage{}},
+		{"Sonata", placement.ObjBalance, baseline.Sonata{}},
+		{"SPEED", placement.ObjLatency, baseline.SPEED{}},
+		{"MTP", placement.ObjLatency, baseline.MTP{}},
+		{"FP", placement.ObjSwitches, baseline.Flightplan{}},
+		{"P4All", placement.ObjBalance, baseline.P4All{}},
+	} {
+		ib := ib
+		specs = append(specs, solverSpec{
+			name:      ib.name,
+			useMerged: usesMergedTDG(ib.name),
+			ilpBacked: true,
+			run: func(g *tdg.Graph, topo *network.Topology, opts placement.Options) (*placement.Plan, error) {
+				s := placement.ILP{Objective: ib.objective, DisplayName: ib.name}
+				return s.Solve(g, topo, opts)
+			},
+			fallback: ib.behavior.Solve,
+		})
+	}
+	specs = append(specs,
+		solverSpec{name: "FFL", useMerged: false, run: baseline.FFL{}.Solve},
+		solverSpec{name: "FFLS", useMerged: false, run: baseline.FFLS{}.Solve},
+	)
+	return specs
+}
+
+// usesMergedTDG reports whether the named framework merges input
+// programs (network-wide frameworks do; single-switch one-by-one
+// frameworks do not).
+func usesMergedTDG(name string) bool {
+	switch name {
+	case "Hermes", "Optimal", "SPEED", "MTP":
+		return true
+	default:
+		return false
+	}
+}
+
+// ilpTractableVars bounds the MILP size we even attempt: the built-in
+// solver keeps a dense simplex tableau (rows × columns), so models
+// beyond a few thousand variables exhaust memory long before the
+// deadline. Larger instances are reported deadline-capped, matching
+// the paper's >2h bars.
+const ilpTractableVars = 3_000
+
+// runSolver executes one spec on one instance and post-processes the
+// metrics.
+func runSolver(spec solverSpec, inst *instance, cfg Config) SolverResult {
+	g := inst.union
+	if spec.useMerged {
+		g = inst.merged
+	}
+	opts := placement.Options{}
+	if spec.ilpBacked && cfg.SolverDeadline > 0 {
+		opts.Deadline = time.Now().Add(cfg.SolverDeadline)
+	}
+
+	res := SolverResult{Solver: spec.name}
+
+	capped := false
+	var plan *placement.Plan
+	var err error
+	start := time.Now()
+	if spec.ilpBacked && placement.EstimateVars(g, inst.topo) > ilpTractableVars && spec.name != "Optimal" {
+		// The MILP would not even finish building; the paper plots
+		// these as >2h bars.
+		capped = true
+		err = fmt.Errorf("model too large")
+	} else {
+		plan, err = spec.run(g, inst.topo, opts)
+		if err == nil && spec.ilpBacked && !plan.Proven {
+			capped = true
+		}
+	}
+	elapsed := time.Since(start)
+
+	if err != nil && spec.fallback != nil {
+		plan, err = spec.fallback(g, inst.topo, placement.Options{})
+		capped = true
+	}
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+
+	res.AMax = plan.AMax()
+	res.HeaderBytes = res.AMax
+	if dep, derr := deploy.Compile(plan, analyzer.Options{}); derr == nil {
+		res.HeaderBytes = dep.MaxHeaderBytes()
+	}
+	res.TotalCross = plan.TotalCrossBytes()
+	res.QOcc = plan.QOcc()
+	res.Capped = capped
+	if capped {
+		res.ExecTime = CappedExecTime
+	} else {
+		res.ExecTime = elapsed
+	}
+
+	flow := e2esim.DefaultDCN(cfg.PacketBytes)
+	if impact, ierr := flow.ImpactOf(res.HeaderBytes); ierr == nil {
+		res.FCTOverhead = impact.FCTIncrease
+		res.GoodputLoss = impact.GoodputDecrease
+	}
+	return res
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hermes-net/hermes/internal/workload"
+)
+
+// fastConfig keeps unit tests laptop-quick: heuristic baselines only,
+// short solver deadline.
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.IncludeILPFrameworks = false
+	cfg.SolverDeadline = 500 * time.Millisecond
+	return cfg
+}
+
+func TestFigure2SeriesShape(t *testing.T) {
+	pts, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 packet sizes x 5 overheads.
+	if len(pts) != 15 {
+		t.Fatalf("got %d points, want 15", len(pts))
+	}
+	// Monotone within each packet size.
+	bysize := map[int][]Fig2Point{}
+	for _, p := range pts {
+		bysize[p.PacketBytes] = append(bysize[p.PacketBytes], p)
+	}
+	for size, series := range bysize {
+		for i := 1; i < len(series); i++ {
+			if series[i].FCTIncrease < series[i-1].FCTIncrease {
+				t.Errorf("size %d: FCT series not monotone", size)
+			}
+		}
+		last := series[len(series)-1]
+		if last.FCTIncrease <= 0 || last.GoodputDecrease <= 0 {
+			t.Errorf("size %d: 108B overhead has no impact", size)
+		}
+	}
+}
+
+func TestExp1HermesWinsOnOverhead(t *testing.T) {
+	rows, err := Exp1(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 { // 2,4,6,8,10 programs
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Aggregate A_max per solver across program counts: Hermes must win
+	// (or tie) in aggregate; the exact solver must never lose to the
+	// heuristic on any row. Individual rows may flip — the greedy is a
+	// heuristic — which matches the paper's per-figure variance.
+	sums := map[string]int{}
+	fails := map[string]int{}
+	for _, row := range rows {
+		var hermes *SolverResult
+		for i := range row.Results {
+			if row.Results[i].Solver == "Hermes" {
+				hermes = &row.Results[i]
+			}
+		}
+		if hermes == nil {
+			t.Fatalf("row %d missing Hermes", row.Programs)
+		}
+		if hermes.Err != "" {
+			t.Fatalf("Hermes failed at %d programs: %s", row.Programs, hermes.Err)
+		}
+		for _, r := range row.Results {
+			if r.Err != "" {
+				fails[r.Solver]++
+				continue // some baselines may legitimately fail to fit
+			}
+			sums[r.Solver] += r.AMax
+			if r.Solver == "Optimal" && r.AMax > hermes.AMax {
+				t.Errorf("%d programs: Optimal AMax %d worse than Hermes %d",
+					row.Programs, r.AMax, hermes.AMax)
+			}
+		}
+	}
+	// The byte-oblivious MAT-level packers must never beat Hermes in
+	// aggregate. Program-unit packers (MS, Sonata, FP) can luck into
+	// good program-boundary cuts on the tiny testbed and occasionally
+	// tie or edge ahead on single instances (the greedy is near-optimal,
+	// not optimal); those are compared with slack.
+	for _, solver := range []string{"FFL", "FFLS", "P4All", "SPEED", "MTP"} {
+		if fails[solver] > 0 {
+			continue // incomplete series cannot be compared fairly
+		}
+		if sums[solver] < sums["Hermes"] {
+			t.Errorf("%s aggregate AMax %d beats Hermes %d", solver, sums[solver], sums["Hermes"])
+		}
+	}
+	for _, solver := range []string{"MS", "Sonata", "FP"} {
+		if fails[solver] > 0 {
+			continue
+		}
+		if float64(sums[solver]) < 0.75*float64(sums["Hermes"]) {
+			t.Errorf("%s aggregate AMax %d far below Hermes %d", solver, sums[solver], sums["Hermes"])
+		}
+	}
+	// With all ten programs the testbed must actually be stressed into
+	// multi-switch deployment (the premise of the experiment).
+	last := rows[len(rows)-1]
+	for _, r := range last.Results {
+		if r.Solver == "Hermes" && r.QOcc < 2 {
+			t.Errorf("10 programs occupy %d switches; calibration too loose", r.QOcc)
+		}
+	}
+}
+
+func TestExp1WithILPFrameworks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ILP frameworks are slow by design")
+	}
+	cfg := DefaultConfig()
+	cfg.SolverDeadline = 2 * time.Second
+	topo, err := testbedTopology(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := buildInstance(workload.RealPrograms()[:2], topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range solverSpecs(cfg) {
+		res := runSolver(spec, inst, cfg)
+		if res.Err != "" {
+			t.Errorf("%s failed: %s", res.Solver, res.Err)
+		}
+		if res.Capped && res.ExecTime != CappedExecTime {
+			t.Errorf("%s capped but exec time %v", res.Solver, res.ExecTime)
+		}
+	}
+}
+
+func TestExp6ResourceAccounting(t *testing.T) {
+	res, err := Exp6(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Merging must save the 9 redundant hash stages.
+	if res.MergeSavings <= 0 {
+		t.Errorf("MergeSavings = %g, want positive", res.MergeSavings)
+	}
+	// Exp#6's claim: Hermes consumes no switch resources beyond the
+	// workload itself.
+	if res.HermesExtra > 1e-6 {
+		t.Errorf("HermesExtra = %g, want ~0 (paper Exp#6)", res.HermesExtra)
+	}
+	// And thanks to merging, less than the ground truth.
+	if res.HermesUsed >= res.GroundTruth {
+		t.Errorf("HermesUsed %g >= ground truth %g", res.HermesUsed, res.GroundTruth)
+	}
+	if res.SPEEDUsed <= 0 {
+		t.Error("SPEED accounting missing")
+	}
+}
+
+func TestVerifyDeploymentEquivalence(t *testing.T) {
+	cfg := fastConfig()
+	// A workload mixing several real programs; compile and check
+	// distributed == single box over a packet stream.
+	progs := workload.RealPrograms()[:6]
+	maxHdr, err := VerifyDeployment(cfg, progs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxHdr < 0 {
+		t.Errorf("negative header bytes %d", maxHdr)
+	}
+}
+
+func TestExp5ScalesMonotonically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scalability sweep is heavy")
+	}
+	cfg := fastConfig()
+	rows, err := Exp5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		for _, r := range row.Results {
+			if r.Solver == "Hermes" && r.Err != "" {
+				t.Errorf("Hermes failed at %d programs: %s", row.Programs, r.Err)
+			}
+		}
+	}
+}
+
+func TestSolverSpecsLineup(t *testing.T) {
+	cfg := DefaultConfig()
+	specs := solverSpecs(cfg)
+	names := map[string]bool{}
+	for _, s := range specs {
+		names[s.name] = true
+	}
+	for _, want := range []string{"Hermes", "Optimal", "MS", "Sonata", "SPEED", "MTP", "FP", "P4All", "FFL", "FFLS"} {
+		if !names[want] {
+			t.Errorf("lineup missing %s", want)
+		}
+	}
+	if len(specs) != 10 {
+		t.Errorf("lineup has %d solvers, want 10", len(specs))
+	}
+	// Heuristic-only config keeps the same comparison names.
+	cfg.IncludeILPFrameworks = false
+	specs = solverSpecs(cfg)
+	if len(specs) != 10 {
+		t.Errorf("heuristic lineup has %d solvers, want 10", len(specs))
+	}
+}

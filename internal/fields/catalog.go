@@ -1,0 +1,110 @@
+package fields
+
+// This file holds the standard field catalog used by the workload
+// programs. Header fields model standard Ethernet/IPv4/TCP/UDP headers;
+// metadata fields reproduce Table I of the paper.
+
+// Standard header field names.
+const (
+	EthDst    = "ethernet.dstAddr"
+	EthSrc    = "ethernet.srcAddr"
+	EthType   = "ethernet.etherType"
+	IPv4Src   = "ipv4.srcAddr"
+	IPv4Dst   = "ipv4.dstAddr"
+	IPv4Proto = "ipv4.protocol"
+	IPv4TTL   = "ipv4.ttl"
+	IPv4DSCP  = "ipv4.dscp"
+	IPv4Len   = "ipv4.totalLen"
+	TCPSrc    = "tcp.srcPort"
+	TCPDst    = "tcp.dstPort"
+	TCPFlags  = "tcp.flags"
+	TCPSeq    = "tcp.seqNo"
+	UDPSrc    = "udp.srcPort"
+	UDPDst    = "udp.dstPort"
+	VlanID    = "vlan.vid"
+)
+
+// Table I metadata field names (paper Table I) plus common pipeline
+// intermediates used by the workload programs.
+const (
+	MetaSwitchID     = "meta.switch_id"     // 4 B: path tracing, conformance
+	MetaQueueLen     = "meta.queue_len"     // 6 B: congestion control
+	MetaTimestamp    = "meta.timestamp"     // 12 B: troubleshooting, anomaly detection
+	MetaCounterIndex = "meta.counter_index" // 4 B: hash tables, sketches
+
+	MetaEgressPort = "meta.egress_port"
+	MetaNextHop    = "meta.next_hop"
+	MetaDropFlag   = "meta.drop_flag"
+	MetaHash0      = "meta.hash0"
+	MetaHash1      = "meta.hash1"
+	MetaHash2      = "meta.hash2"
+	MetaFlowID     = "meta.flow_id"
+	MetaClass      = "meta.traffic_class"
+	MetaNATAddr    = "meta.nat_addr"
+	MetaNATPort    = "meta.nat_port"
+	MetaTunnelID   = "meta.tunnel_id"
+	MetaVNI        = "meta.vni"
+	MetaMeterColor = "meta.meter_color"
+	MetaLBBucket   = "meta.lb_bucket"
+	MetaCount      = "meta.count"
+	MetaHeavyFlag  = "meta.heavy_flag"
+	MetaINTDepth   = "meta.int_depth"
+)
+
+// Catalog returns a fresh copy of the standard field catalog.
+func Catalog() Set {
+	return MustSet(
+		// Headers.
+		Header(EthDst, 48),
+		Header(EthSrc, 48),
+		Header(EthType, 16),
+		Header(IPv4Src, 32),
+		Header(IPv4Dst, 32),
+		Header(IPv4Proto, 8),
+		Header(IPv4TTL, 8),
+		Header(IPv4DSCP, 6),
+		Header(IPv4Len, 16),
+		Header(TCPSrc, 16),
+		Header(TCPDst, 16),
+		Header(TCPFlags, 8),
+		Header(TCPSeq, 32),
+		Header(UDPSrc, 16),
+		Header(UDPDst, 16),
+		Header(VlanID, 12),
+
+		// Table I metadata, with the exact sizes the paper lists.
+		Metadata(MetaSwitchID, 32),     // 4 bytes
+		Metadata(MetaQueueLen, 48),     // 6 bytes
+		Metadata(MetaTimestamp, 96),    // 12 bytes
+		Metadata(MetaCounterIndex, 32), // 4 bytes
+
+		// Common pipeline intermediates.
+		Metadata(MetaEgressPort, 16),
+		Metadata(MetaNextHop, 32),
+		Metadata(MetaDropFlag, 8),
+		Metadata(MetaHash0, 32),
+		Metadata(MetaHash1, 32),
+		Metadata(MetaHash2, 32),
+		Metadata(MetaFlowID, 32),
+		Metadata(MetaClass, 8),
+		Metadata(MetaNATAddr, 32),
+		Metadata(MetaNATPort, 16),
+		Metadata(MetaTunnelID, 32),
+		Metadata(MetaVNI, 24),
+		Metadata(MetaMeterColor, 8),
+		Metadata(MetaLBBucket, 16),
+		Metadata(MetaCount, 32),
+		Metadata(MetaHeavyFlag, 8),
+		Metadata(MetaINTDepth, 8),
+	)
+}
+
+// CatalogField looks up a field by name in the standard catalog and
+// panics if it is absent; intended for static program definitions.
+func CatalogField(name string) Field {
+	f, ok := Catalog().Get(name)
+	if !ok {
+		panic("fields: unknown catalog field " + name)
+	}
+	return f
+}

@@ -1,0 +1,156 @@
+// Package merge implements SPEED-style TDG merging (paper §IV, Alg. 1
+// lines 4–8). Different programs exhibit redundancy — e.g. several
+// sketches all compute hash indexes — so merging their TDGs and
+// unifying equivalent MATs saves switch resources.
+//
+// The merger follows the three steps the paper quotes from SPEED [6]:
+//  1. identify redundant MATs (identical properties) across the inputs,
+//  2. initialize the merged TDG with the union of nodes and edges,
+//  3. remove as many redundant MATs as possible while preserving edges.
+//
+// A unification is skipped when it would create a cycle: the merged TDG
+// must stay a DAG for deployment to be meaningful.
+package merge
+
+import (
+	"fmt"
+
+	"github.com/hermes-net/hermes/internal/tdg"
+)
+
+// Graphs merges the given TDGs into one, pairwise, exactly like
+// Algorithm 1: repeatedly extract two TDGs, merge them, and put the
+// result back until a single TDG remains. Input graphs are not
+// modified.
+func Graphs(graphs []*tdg.Graph) (*tdg.Graph, error) {
+	if len(graphs) == 0 {
+		return nil, fmt.Errorf("merge: no TDGs to merge")
+	}
+	work := make([]*tdg.Graph, len(graphs))
+	for i, g := range graphs {
+		if g == nil {
+			return nil, fmt.Errorf("merge: nil TDG at index %d", i)
+		}
+		work[i] = g.Clone()
+	}
+	for len(work) > 1 {
+		t1, t2 := work[0], work[1]
+		t3, err := Two(t1, t2)
+		if err != nil {
+			return nil, err
+		}
+		work = append([]*tdg.Graph{t3}, work[2:]...)
+	}
+	return work[0], nil
+}
+
+// Two merges two TDGs. Nodes of t2 that are equivalent to a node of t1
+// are unified into the t1 node; everything else is unioned. Inputs are
+// not modified.
+func Two(t1, t2 *tdg.Graph) (*tdg.Graph, error) {
+	out := t1.Clone()
+
+	// Union in t2's nodes, remembering which get unified.
+	renamed := make(map[string]string) // t2 name -> merged name
+	for _, n2 := range t2.Nodes() {
+		target := ""
+		for _, n1 := range out.Nodes() {
+			if n1.Name() == n2.Name() {
+				// Same name across graphs: must be the same MAT
+				// definition or the inputs are inconsistent.
+				if !n1.MAT.Equivalent(n2.MAT) {
+					return nil, fmt.Errorf("merge: node %q has conflicting definitions", n2.Name())
+				}
+				target = n1.Name()
+				break
+			}
+			if n1.MAT.Equivalent(n2.MAT) {
+				target = n1.Name()
+				break
+			}
+		}
+		if target == "" {
+			if err := out.AddNode(n2.MAT, n2.Origin...); err != nil {
+				return nil, err
+			}
+			renamed[n2.Name()] = n2.Name()
+			continue
+		}
+		renamed[n2.Name()] = target
+		node, _ := out.Node(target)
+		node.Origin = appendUnique(node.Origin, n2.Origin...)
+	}
+
+	// Union in t2's edges under the renaming.
+	for _, e := range t2.Edges() {
+		from, to := renamed[e.From], renamed[e.To]
+		if from == to {
+			// Both endpoints unified into the same node; the
+			// dependency is internal now.
+			continue
+		}
+		if err := out.AddEdge(from, to, e.Type, e.MetadataBytes); err != nil {
+			return nil, err
+		}
+	}
+
+	if out.IsDAG() {
+		return out, nil
+	}
+
+	// Unification created a cycle (the two programs order the shared
+	// MATs incompatibly). Fall back to a plain union with no
+	// unification, which is always acyclic for acyclic inputs.
+	return plainUnion(t1, t2)
+}
+
+// plainUnion unions two TDGs without unifying equivalent nodes. Name
+// collisions are still required to be genuine duplicates.
+func plainUnion(t1, t2 *tdg.Graph) (*tdg.Graph, error) {
+	out := t1.Clone()
+	for _, n2 := range t2.Nodes() {
+		if n1, ok := out.Node(n2.Name()); ok {
+			if !n1.MAT.Equivalent(n2.MAT) {
+				return nil, fmt.Errorf("merge: node %q has conflicting definitions", n2.Name())
+			}
+			n1.Origin = appendUnique(n1.Origin, n2.Origin...)
+			continue
+		}
+		if err := out.AddNode(n2.MAT, n2.Origin...); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range t2.Edges() {
+		if err := out.AddEdge(e.From, e.To, e.Type, e.MetadataBytes); err != nil {
+			return nil, err
+		}
+	}
+	if !out.IsDAG() {
+		return nil, fmt.Errorf("merge: union of TDGs is cyclic")
+	}
+	return out, nil
+}
+
+func appendUnique(dst []string, src ...string) []string {
+	seen := make(map[string]bool, len(dst))
+	for _, s := range dst {
+		seen[s] = true
+	}
+	for _, s := range src {
+		if !seen[s] {
+			seen[s] = true
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
+// Savings reports how many MAT instances merging eliminated: the sum of
+// node counts of the inputs minus the node count of the merged graph.
+func Savings(inputs []*tdg.Graph, merged *tdg.Graph) int {
+	total := 0
+	for _, g := range inputs {
+		total += g.NumNodes()
+	}
+	return total - merged.NumNodes()
+}

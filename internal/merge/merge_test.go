@@ -1,0 +1,210 @@
+package merge
+
+import (
+	"testing"
+
+	"github.com/hermes-net/hermes/internal/fields"
+	"github.com/hermes-net/hermes/internal/program"
+	"github.com/hermes-net/hermes/internal/tdg"
+)
+
+// sketchProgram builds a program shaped like a sketch: a shared hash
+// stage followed by a per-program counting stage. All sketchPrograms
+// share an equivalent hash MAT, which the merger should unify.
+func sketchProgram(t *testing.T, name string) *tdg.Graph {
+	t.Helper()
+	idx := fields.Metadata("meta.idx", 32)
+	cnt := fields.Metadata("meta.cnt_"+name, 32)
+	src := fields.Header("ipv4.srcAddr", 32)
+
+	p := program.NewBuilder(name).
+		Table("hash", 1).
+		ActionDef("h", program.HashOp(idx, src)).
+		Table("count", 1024).
+		Key(idx, program.MatchExact).
+		ActionDef("c", program.CountOp(cnt, idx)).
+		MustBuild()
+	g, err := tdg.FromProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTwoUnifiesEquivalentMATs(t *testing.T) {
+	g1 := sketchProgram(t, "cm")
+	g2 := sketchProgram(t, "bloom")
+	m, err := Two(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 input MATs; the two hash MATs are equivalent -> 3 remain.
+	if m.NumNodes() != 3 {
+		t.Errorf("merged NumNodes = %d, want 3\nnodes: %v", m.NumNodes(), m.NodeNames())
+	}
+	if !m.IsDAG() {
+		t.Error("merged graph not a DAG")
+	}
+	// The unified hash node must feed both count tables.
+	hash, ok := m.Node("cm/hash")
+	if !ok {
+		t.Fatal("unified hash node missing")
+	}
+	if len(m.OutEdges(hash.Name())) != 2 {
+		t.Errorf("unified hash has %d out edges, want 2", len(m.OutEdges(hash.Name())))
+	}
+	// Origin must record both source programs.
+	if len(hash.Origin) != 2 {
+		t.Errorf("unified node Origin = %v, want both programs", hash.Origin)
+	}
+}
+
+func TestTwoKeepsDistinctMATs(t *testing.T) {
+	// Programs with different capacities are not redundant.
+	mk := func(name string, capacity int) *tdg.Graph {
+		p := program.NewBuilder(name).
+			Table("acl", capacity).
+			Key(fields.Header("ipv4.srcAddr", 32), program.MatchTernary).
+			ActionDef("drop", program.SetOp(fields.Metadata("meta.drop", 8), 1)).
+			MustBuild()
+		g, err := tdg.FromProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	m, err := Two(mk("p1", 100), mk("p2", 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNodes() != 2 {
+		t.Errorf("NumNodes = %d, want 2 (no unification)", m.NumNodes())
+	}
+}
+
+func TestGraphsMergesManyAndCountsSavings(t *testing.T) {
+	var inputs []*tdg.Graph
+	for _, n := range []string{"a", "b", "c", "d"} {
+		inputs = append(inputs, sketchProgram(t, n))
+	}
+	m, err := Graphs(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 MATs in, 4 hash MATs unify into 1 -> 5 out.
+	if m.NumNodes() != 5 {
+		t.Errorf("NumNodes = %d, want 5", m.NumNodes())
+	}
+	if got := Savings(inputs, m); got != 3 {
+		t.Errorf("Savings = %d, want 3", got)
+	}
+	if !m.IsDAG() {
+		t.Error("merged graph not a DAG")
+	}
+}
+
+func TestGraphsErrors(t *testing.T) {
+	if _, err := Graphs(nil); err == nil {
+		t.Error("Graphs(nil) succeeded")
+	}
+	if _, err := Graphs([]*tdg.Graph{nil}); err == nil {
+		t.Error("Graphs with nil entry succeeded")
+	}
+}
+
+func TestGraphsDoesNotMutateInputs(t *testing.T) {
+	g1 := sketchProgram(t, "x")
+	g2 := sketchProgram(t, "y")
+	n1, e1 := g1.NumNodes(), g1.NumEdges()
+	if _, err := Graphs([]*tdg.Graph{g1, g2}); err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumNodes() != n1 || g1.NumEdges() != e1 {
+		t.Error("merge mutated input graph")
+	}
+}
+
+func TestTwoSameNameConflictingDefinition(t *testing.T) {
+	mk := func(capacity int) *tdg.Graph {
+		p := program.NewBuilder("p").
+			Table("t", capacity).
+			ActionDef("a", program.SetOp(fields.Metadata("meta.m", 8), 1)).
+			MustBuild()
+		g, err := tdg.FromProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	if _, err := Two(mk(10), mk(20)); err == nil {
+		t.Error("Two accepted same-name MATs with different definitions")
+	}
+}
+
+func TestTwoIdenticalGraphsCollapse(t *testing.T) {
+	g := sketchProgram(t, "same")
+	m, err := Two(g, g.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNodes() != g.NumNodes() || m.NumEdges() != g.NumEdges() {
+		t.Errorf("merging a graph with itself changed shape: %d/%d vs %d/%d",
+			m.NumNodes(), m.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestCycleFallbackToPlainUnion(t *testing.T) {
+	// Construct two graphs whose unification would create a cycle:
+	// g1: A -> X, g2: X' -> A' where X' is equivalent to X and A'
+	// equivalent to A. Unifying both pairs yields A <-> X.
+	matA := func() *program.MAT {
+		return &program.MAT{
+			Name: "pa/a", Capacity: 4,
+			Actions: []program.Action{{Name: "w", Ops: []program.Op{
+				program.SetOp(fields.Metadata("meta.a", 8), 1)}}},
+		}
+	}
+	matX := func() *program.MAT {
+		return &program.MAT{
+			Name: "pa/x", Capacity: 4,
+			Actions: []program.Action{{Name: "w", Ops: []program.Op{
+				program.SetOp(fields.Metadata("meta.x", 8), 1)}}},
+		}
+	}
+	g1 := tdg.New()
+	if err := g1.AddNode(matA(), "pa"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g1.AddNode(matX(), "pa"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g1.AddEdge("pa/a", "pa/x", tdg.DepSuccessor, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same MATs under different names, opposite order.
+	a2, x2 := matA(), matX()
+	a2.Name, x2.Name = "pb/a", "pb/x"
+	g2 := tdg.New()
+	if err := g2.AddNode(x2, "pb"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.AddNode(a2, "pb"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.AddEdge("pb/x", "pb/a", tdg.DepSuccessor, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := Two(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsDAG() {
+		t.Fatal("merge returned cyclic graph")
+	}
+	// Fallback keeps all four nodes.
+	if m.NumNodes() != 4 {
+		t.Errorf("NumNodes = %d, want 4 (plain union fallback)", m.NumNodes())
+	}
+}

@@ -1,0 +1,529 @@
+// Package network models the substrate network Hermes deploys onto
+// (paper §V-A): an undirected graph G = (V_G, E_G) of switches and
+// links. Each switch u carries a programmability flag P(u), a stage
+// count C_stage, a per-stage resource capacity C_res, and a maximum
+// transit latency t_s(u); each link carries a latency t_l(u,v).
+//
+// The package provides shortest-path and k-shortest-path queries (the
+// path sets P(u,v) of the formulation) and deterministic topology
+// generators, including the ten WAN topologies of Table III.
+package network
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// SwitchID identifies a switch within a topology.
+type SwitchID int
+
+// Switch is one network node.
+type Switch struct {
+	// ID is the switch's index in the topology.
+	ID SwitchID `json:"id"`
+	// Name is a human-readable label.
+	Name string `json:"name"`
+	// Programmable is P(u): whether the switch can host MATs.
+	Programmable bool `json:"programmable"`
+	// Stages is C_stage, the number of pipeline stages (programmable
+	// switches only).
+	Stages int `json:"stages,omitempty"`
+	// StageCapacity is C_res, the normalized per-stage resource
+	// capacity (1.0 = one full stage).
+	StageCapacity float64 `json:"stage_capacity,omitempty"`
+	// TransitLatency is t_s(u), the maximum per-switch latency.
+	TransitLatency time.Duration `json:"transit_latency"`
+}
+
+// Capacity returns the switch's total resource capacity
+// C_stage · C_res, the fit test used by the greedy splitter.
+func (s *Switch) Capacity() float64 {
+	if !s.Programmable {
+		return 0
+	}
+	return float64(s.Stages) * s.StageCapacity
+}
+
+// Link is one undirected edge.
+type Link struct {
+	A SwitchID `json:"a"`
+	B SwitchID `json:"b"`
+	// Latency is t_l(u,v).
+	Latency time.Duration `json:"latency"`
+}
+
+// Other returns the endpoint opposite to id.
+func (l Link) Other(id SwitchID) (SwitchID, bool) {
+	switch id {
+	case l.A:
+		return l.B, true
+	case l.B:
+		return l.A, true
+	default:
+		return 0, false
+	}
+}
+
+// Topology is an immutable-after-build network graph.
+type Topology struct {
+	// Name labels the topology for reports.
+	Name string
+
+	switches []*Switch
+	links    []Link
+	// adj[id] lists (neighbor, link index).
+	adj [][]adjEntry
+}
+
+type adjEntry struct {
+	to   SwitchID
+	link int
+}
+
+// Builder-style construction.
+
+// NewTopology creates an empty topology.
+func NewTopology(name string) *Topology {
+	return &Topology{Name: name}
+}
+
+// AddSwitch appends a switch and returns its ID.
+func (t *Topology) AddSwitch(s Switch) SwitchID {
+	id := SwitchID(len(t.switches))
+	s.ID = id
+	if s.Name == "" {
+		s.Name = fmt.Sprintf("s%d", id)
+	}
+	sw := s
+	t.switches = append(t.switches, &sw)
+	t.adj = append(t.adj, nil)
+	return id
+}
+
+// AddLink connects two switches. Parallel links and self-loops are
+// rejected.
+func (t *Topology) AddLink(a, b SwitchID, latency time.Duration) error {
+	if a == b {
+		return fmt.Errorf("network: self-loop on switch %d", a)
+	}
+	if !t.valid(a) || !t.valid(b) {
+		return fmt.Errorf("network: link %d-%d references unknown switch", a, b)
+	}
+	for _, e := range t.adj[a] {
+		if e.to == b {
+			return fmt.Errorf("network: duplicate link %d-%d", a, b)
+		}
+	}
+	if latency < 0 {
+		return fmt.Errorf("network: negative latency on link %d-%d", a, b)
+	}
+	idx := len(t.links)
+	t.links = append(t.links, Link{A: a, B: b, Latency: latency})
+	t.adj[a] = append(t.adj[a], adjEntry{to: b, link: idx})
+	t.adj[b] = append(t.adj[b], adjEntry{to: a, link: idx})
+	return nil
+}
+
+func (t *Topology) valid(id SwitchID) bool {
+	return id >= 0 && int(id) < len(t.switches)
+}
+
+// NumSwitches returns Q = |V_G|.
+func (t *Topology) NumSwitches() int { return len(t.switches) }
+
+// NumLinks returns N = |E_G|.
+func (t *Topology) NumLinks() int { return len(t.links) }
+
+// Switch returns the switch with the given ID.
+func (t *Topology) Switch(id SwitchID) (*Switch, error) {
+	if !t.valid(id) {
+		return nil, fmt.Errorf("network: unknown switch %d", id)
+	}
+	return t.switches[id], nil
+}
+
+// Switches returns all switches in ID order.
+func (t *Topology) Switches() []*Switch {
+	return append([]*Switch(nil), t.switches...)
+}
+
+// ProgrammableSwitches returns the IDs of programmable switches in
+// ascending order.
+func (t *Topology) ProgrammableSwitches() []SwitchID {
+	var out []SwitchID
+	for _, s := range t.switches {
+		if s.Programmable {
+			out = append(out, s.ID)
+		}
+	}
+	return out
+}
+
+// Links returns all links.
+func (t *Topology) Links() []Link {
+	return append([]Link(nil), t.links...)
+}
+
+// Neighbors returns the IDs adjacent to id, sorted.
+func (t *Topology) Neighbors(id SwitchID) []SwitchID {
+	if !t.valid(id) {
+		return nil
+	}
+	out := make([]SwitchID, 0, len(t.adj[id]))
+	for _, e := range t.adj[id] {
+		out = append(out, e.to)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LinkBetween returns the link connecting a and b.
+func (t *Topology) LinkBetween(a, b SwitchID) (Link, bool) {
+	if !t.valid(a) {
+		return Link{}, false
+	}
+	for _, e := range t.adj[a] {
+		if e.to == b {
+			return t.links[e.link], true
+		}
+	}
+	return Link{}, false
+}
+
+// Connected reports whether the topology is a single connected
+// component (ignoring a topology with no switches, which is connected
+// vacuously).
+func (t *Topology) Connected() bool {
+	if len(t.switches) == 0 {
+		return true
+	}
+	seen := make([]bool, len(t.switches))
+	stack := []SwitchID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range t.adj[n] {
+			if !seen[e.to] {
+				seen[e.to] = true
+				count++
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return count == len(t.switches)
+}
+
+// Path is a walk through the network: a sequence of switch IDs where
+// consecutive entries are linked. Latency is t_p(p): the sum of link
+// latencies plus the transit latency of every switch on the path
+// (paper §V-A's t_p definition).
+type Path struct {
+	Switches []SwitchID
+	Latency  time.Duration
+}
+
+// Contains reports whether the path visits the switch (the E(a,p)
+// indicator of the formulation).
+func (p Path) Contains(id SwitchID) bool {
+	for _, s := range p.Switches {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Hops returns the number of links traversed.
+func (p Path) Hops() int {
+	if len(p.Switches) == 0 {
+		return 0
+	}
+	return len(p.Switches) - 1
+}
+
+// pathLatency recomputes t_p(p) for a switch sequence.
+func (t *Topology) pathLatency(seq []SwitchID) (time.Duration, error) {
+	var total time.Duration
+	for i, id := range seq {
+		sw, err := t.Switch(id)
+		if err != nil {
+			return 0, err
+		}
+		total += sw.TransitLatency
+		if i == 0 {
+			continue
+		}
+		l, ok := t.LinkBetween(seq[i-1], id)
+		if !ok {
+			return 0, fmt.Errorf("network: no link %d-%d in path", seq[i-1], id)
+		}
+		total += l.Latency
+	}
+	return total, nil
+}
+
+// ShortestPath returns the minimum-latency simple path from src to dst
+// using Dijkstra over link+switch latencies. It fails if no path
+// exists.
+func (t *Topology) ShortestPath(src, dst SwitchID) (Path, error) {
+	if !t.valid(src) || !t.valid(dst) {
+		return Path{}, fmt.Errorf("network: shortest path %d->%d references unknown switch", src, dst)
+	}
+	return t.shortestPathAvoiding(src, dst, nil, nil)
+}
+
+// shortestPathAvoiding runs Dijkstra excluding the given switches and
+// links (used by Yen's algorithm). banned switches are keyed by ID;
+// banned links by index.
+func (t *Topology) shortestPathAvoiding(src, dst SwitchID, bannedSw map[SwitchID]bool, bannedLink map[int]bool) (Path, error) {
+	const inf = math.MaxInt64
+	n := len(t.switches)
+	dist := make([]int64, n)
+	prev := make([]SwitchID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = -1
+	}
+	if bannedSw[src] || bannedSw[dst] {
+		return Path{}, fmt.Errorf("network: endpoints banned")
+	}
+	dist[src] = int64(t.switches[src].TransitLatency)
+	// Simple O(V^2) Dijkstra; topologies here are small (≤ a few
+	// hundred nodes), and this avoids heap bookkeeping.
+	for {
+		u := SwitchID(-1)
+		best := int64(inf)
+		for i := 0; i < n; i++ {
+			if !done[i] && dist[i] < best {
+				best = dist[i]
+				u = SwitchID(i)
+			}
+		}
+		if u < 0 {
+			break
+		}
+		if u == dst {
+			break
+		}
+		done[u] = true
+		for _, e := range t.adj[u] {
+			if done[e.to] || bannedSw[e.to] || bannedLink[e.link] {
+				continue
+			}
+			alt := dist[u] + int64(t.links[e.link].Latency) + int64(t.switches[e.to].TransitLatency)
+			if alt < dist[e.to] {
+				dist[e.to] = alt
+				prev[e.to] = u
+			}
+		}
+	}
+	if dist[dst] == inf {
+		return Path{}, fmt.Errorf("network: no path from %d to %d", src, dst)
+	}
+	var seq []SwitchID
+	for at := dst; at != -1; at = prev[at] {
+		seq = append(seq, at)
+		if at == src {
+			break
+		}
+	}
+	// Reverse.
+	for i, j := 0, len(seq)-1; i < j; i, j = i+1, j-1 {
+		seq[i], seq[j] = seq[j], seq[i]
+	}
+	if seq[0] != src {
+		return Path{}, fmt.Errorf("network: path reconstruction failed for %d->%d", src, dst)
+	}
+	return Path{Switches: seq, Latency: time.Duration(dist[dst])}, nil
+}
+
+// KShortestPaths returns up to k loopless shortest paths from src to
+// dst in increasing latency order (Yen's algorithm). This materializes
+// the path set P(u,v) used by the MILP formulation.
+func (t *Topology) KShortestPaths(src, dst SwitchID, k int) ([]Path, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("network: k must be positive, got %d", k)
+	}
+	if src == dst {
+		sw, err := t.Switch(src)
+		if err != nil {
+			return nil, err
+		}
+		return []Path{{Switches: []SwitchID{src}, Latency: sw.TransitLatency}}, nil
+	}
+	first, err := t.ShortestPath(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	paths := []Path{first}
+	var candidates []Path
+
+	for len(paths) < k {
+		last := paths[len(paths)-1]
+		// For each spur node in the previous shortest path.
+		for i := 0; i < len(last.Switches)-1; i++ {
+			spur := last.Switches[i]
+			root := last.Switches[:i+1]
+
+			bannedLink := make(map[int]bool)
+			bannedSw := make(map[SwitchID]bool)
+			for _, p := range paths {
+				if sharesPrefix(p.Switches, root) && len(p.Switches) > i+1 {
+					if li, ok := t.linkIndex(p.Switches[i], p.Switches[i+1]); ok {
+						bannedLink[li] = true
+					}
+				}
+			}
+			for _, s := range root[:len(root)-1] {
+				bannedSw[s] = true
+			}
+
+			spurPath, err := t.shortestPathAvoiding(spur, dst, bannedSw, bannedLink)
+			if err != nil {
+				continue
+			}
+			total := append(append([]SwitchID(nil), root[:len(root)-1]...), spurPath.Switches...)
+			lat, err := t.pathLatency(total)
+			if err != nil {
+				continue
+			}
+			cand := Path{Switches: total, Latency: lat}
+			if !containsPath(paths, cand) && !containsPath(candidates, cand) {
+				candidates = append(candidates, cand)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(i, j int) bool { return candidates[i].Latency < candidates[j].Latency })
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths, nil
+}
+
+func (t *Topology) linkIndex(a, b SwitchID) (int, bool) {
+	if !t.valid(a) {
+		return 0, false
+	}
+	for _, e := range t.adj[a] {
+		if e.to == b {
+			return e.link, true
+		}
+	}
+	return 0, false
+}
+
+func sharesPrefix(p, prefix []SwitchID) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if p[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(ps []Path, q Path) bool {
+	for _, p := range ps {
+		if len(p.Switches) != len(q.Switches) {
+			continue
+		}
+		same := true
+		for i := range p.Switches {
+			if p.Switches[i] != q.Switches[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+// NearestProgrammable returns up to limit programmable switches ordered
+// by shortest-path latency from src, excluding src itself, and only
+// those reachable within maxLatency (inclusive). This implements the
+// candidate search of Algorithm 2 line 23 (SELECT_SWITCHES).
+func (t *Topology) NearestProgrammable(src SwitchID, limit int, maxLatency time.Duration) ([]SwitchID, error) {
+	if !t.valid(src) {
+		return nil, fmt.Errorf("network: unknown switch %d", src)
+	}
+	type cand struct {
+		id  SwitchID
+		lat time.Duration
+	}
+	var cands []cand
+	for _, s := range t.switches {
+		if !s.Programmable || s.ID == src {
+			continue
+		}
+		p, err := t.ShortestPath(src, s.ID)
+		if err != nil {
+			continue // unreachable
+		}
+		if maxLatency > 0 && p.Latency > maxLatency {
+			continue
+		}
+		cands = append(cands, cand{id: s.ID, lat: p.Latency})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].lat != cands[j].lat {
+			return cands[i].lat < cands[j].lat
+		}
+		return cands[i].id < cands[j].id
+	})
+	if limit >= 0 && len(cands) > limit {
+		cands = cands[:limit]
+	}
+	out := make([]SwitchID, len(cands))
+	for i, c := range cands {
+		out[i] = c.id
+	}
+	return out, nil
+}
+
+// Clone returns an independent copy of the topology.
+func (t *Topology) Clone() *Topology {
+	c := NewTopology(t.Name)
+	for _, s := range t.switches {
+		c.AddSwitch(*s)
+	}
+	for _, l := range t.links {
+		// Links were validated on insertion; re-adding cannot fail.
+		if err := c.AddLink(l.A, l.B, l.Latency); err != nil {
+			panic("network: clone re-add failed: " + err.Error())
+		}
+	}
+	return c
+}
+
+// Validate checks structural invariants.
+func (t *Topology) Validate() error {
+	for _, s := range t.switches {
+		if s.Programmable {
+			if s.Stages <= 0 {
+				return fmt.Errorf("network: programmable switch %q has %d stages", s.Name, s.Stages)
+			}
+			if s.StageCapacity <= 0 {
+				return fmt.Errorf("network: programmable switch %q has capacity %g", s.Name, s.StageCapacity)
+			}
+		}
+		if s.TransitLatency < 0 {
+			return fmt.Errorf("network: switch %q has negative latency", s.Name)
+		}
+	}
+	if !t.Connected() {
+		return fmt.Errorf("network: topology %q is not connected", t.Name)
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package p4lite
+
+import "testing"
+
+// FuzzParse checks that arbitrary input never panics the frontend and
+// that every accepted program is valid.
+func FuzzParse(f *testing.F) {
+	f.Add(heavyHitterSrc)
+	f.Add("program p;")
+	f.Add("program p;\nmetadata m : 8;\ntable t { action a { set m <- 1; } }")
+	f.Add("table { } } {")
+	f.Add("// nothing")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if verr := prog.Validate(); verr != nil {
+			t.Fatalf("Parse accepted invalid program: %v", verr)
+		}
+	})
+}

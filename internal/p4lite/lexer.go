@@ -1,0 +1,191 @@
+// Package p4lite is a textual frontend for data plane programs: a
+// small, P4-inspired table/action language that compiles to the
+// library's program representation. It plays the role P4C [41] plays in
+// the paper — turning program text into the MAT collections the
+// analyzer consumes — without dragging in the full P4 toolchain.
+//
+// Grammar (line comments with //):
+//
+//	program  = "program" ident ";" { decl } ;
+//	decl     = fieldDecl | tableDecl | controlDecl ;
+//	fieldDecl = ("metadata" | "header") ident ":" number ";" ;
+//	tableDecl = "table" ident "{" { tableItem } "}" ;
+//	tableItem = "capacity" number ";"
+//	          | "key" ident ":" matchType ";"
+//	          | "action" ident "{" { op } "}"
+//	          | "default" ident ";" ;
+//	matchType = "exact" | "lpm" | "ternary" | "range" ;
+//	op        = "set"   ident "<-" number ";"
+//	          | "copy"  ident "<-" ident ";"
+//	          | "add"   ident "<-" ident [ "+" number ] ";"
+//	          | "hash"  ident "<-" ident { "," ident } ";"
+//	          | "count" ident "<-" ident ";"
+//	          | "dec"   ident [ "by" number ] ";" ;
+//	controlDecl = "control" "{" { ident "->" ident ";" } "}" ;
+//
+// Field references may name declared fields or any entry of the
+// standard catalog (e.g. ipv4.srcAddr).
+package p4lite
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokIdent tokenKind = iota + 1
+	tokNumber
+	tokSymbol // one of ; : { } , respectively "<-" "->" "+"
+	tokEOF
+)
+
+// token is one lexeme with its position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer tokenizes p4lite source.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// Error is a positioned frontend error.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("p4lite:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (lx *lexer) errf(format string, args ...any) *Error {
+	return &Error{Line: lx.line, Col: lx.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peekByte() (byte, bool) {
+	if lx.pos >= len(lx.src) {
+		return 0, false
+	}
+	return lx.src[lx.pos], true
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	for {
+		c, ok := lx.peekByte()
+		if !ok {
+			return token{kind: tokEOF, line: lx.line, col: lx.col}, nil
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/':
+			// Line comment.
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/' {
+				for {
+					c, ok := lx.peekByte()
+					if !ok || c == '\n' {
+						break
+					}
+					lx.advance()
+				}
+				continue
+			}
+			return token{}, lx.errf("stray '/'")
+		default:
+			return lx.scanToken()
+		}
+	}
+}
+
+func (lx *lexer) scanToken() (token, error) {
+	startLine, startCol := lx.line, lx.col
+	c, _ := lx.peekByte()
+	switch {
+	case isIdentStart(rune(c)):
+		var b strings.Builder
+		for {
+			c, ok := lx.peekByte()
+			if !ok || !isIdentPart(rune(c)) {
+				break
+			}
+			b.WriteByte(lx.advance())
+		}
+		return token{kind: tokIdent, text: b.String(), line: startLine, col: startCol}, nil
+	case c >= '0' && c <= '9':
+		var b strings.Builder
+		for {
+			c, ok := lx.peekByte()
+			if !ok || !(c >= '0' && c <= '9' || c == 'x' || c == 'X' ||
+				c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F') {
+				break
+			}
+			b.WriteByte(lx.advance())
+		}
+		return token{kind: tokNumber, text: b.String(), line: startLine, col: startCol}, nil
+	case c == '<':
+		lx.advance()
+		if c2, ok := lx.peekByte(); ok && c2 == '-' {
+			lx.advance()
+			return token{kind: tokSymbol, text: "<-", line: startLine, col: startCol}, nil
+		}
+		return token{}, &Error{Line: startLine, Col: startCol, Msg: "expected '<-'"}
+	case c == '-':
+		lx.advance()
+		if c2, ok := lx.peekByte(); ok && c2 == '>' {
+			lx.advance()
+			return token{kind: tokSymbol, text: "->", line: startLine, col: startCol}, nil
+		}
+		return token{}, &Error{Line: startLine, Col: startCol, Msg: "expected '->'"}
+	case strings.ContainsRune(";:{},+", rune(c)):
+		lx.advance()
+		return token{kind: tokSymbol, text: string(c), line: startLine, col: startCol}, nil
+	default:
+		return token{}, &Error{Line: startLine, Col: startCol, Msg: fmt.Sprintf("unexpected character %q", c)}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.'
+}

@@ -1,0 +1,492 @@
+package p4lite
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/hermes-net/hermes/internal/fields"
+	"github.com/hermes-net/hermes/internal/program"
+)
+
+// Parse compiles p4lite source into a validated program.
+func Parse(src string) (*program.Program, error) {
+	p := &parser{lx: newLexer(src), declared: map[string]fields.Field{}}
+	// Preload the standard catalog so programs can reference well-known
+	// header and metadata fields without declaring them.
+	for _, f := range fields.Catalog().Fields() {
+		p.declared[f.Name] = f
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p.parseProgram()
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	lx       *lexer
+	tok      token
+	declared map[string]fields.Field
+	builder  *program.Builder
+	progName string
+	// tables and actions are tracked for control-edge validation and
+	// for associating defaults.
+	tables map[string]bool
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) *Error {
+	return &Error{Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// expectIdent consumes an identifier (optionally a specific keyword).
+func (p *parser) expectIdent(keyword string) (token, error) {
+	if p.tok.kind != tokIdent {
+		if keyword != "" {
+			return token{}, p.errf("expected %q, found %s", keyword, p.tok)
+		}
+		return token{}, p.errf("expected identifier, found %s", p.tok)
+	}
+	if keyword != "" && p.tok.text != keyword {
+		return token{}, p.errf("expected %q, found %s", keyword, p.tok)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+// expectSymbol consumes a specific symbol.
+func (p *parser) expectSymbol(sym string) error {
+	if p.tok.kind != tokSymbol || p.tok.text != sym {
+		return p.errf("expected %q, found %s", sym, p.tok)
+	}
+	return p.advance()
+}
+
+// expectNumber consumes a number literal.
+func (p *parser) expectNumber() (uint64, error) {
+	if p.tok.kind != tokNumber {
+		return 0, p.errf("expected number, found %s", p.tok)
+	}
+	v, err := strconv.ParseUint(p.tok.text, 0, 64)
+	if err != nil {
+		return 0, p.errf("bad number %q: %v", p.tok.text, err)
+	}
+	return v, p.advance()
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.tok.kind == tokIdent && p.tok.text == kw
+}
+
+func (p *parser) parseProgram() (*program.Program, error) {
+	if _, err := p.expectIdent("program"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent("")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return nil, err
+	}
+	p.progName = name.text
+	p.builder = program.NewBuilder(name.text)
+	p.tables = map[string]bool{}
+
+	for p.tok.kind != tokEOF {
+		switch {
+		case p.atKeyword("metadata"), p.atKeyword("header"):
+			if err := p.parseFieldDecl(); err != nil {
+				return nil, err
+			}
+		case p.atKeyword("table"):
+			if err := p.parseTable(); err != nil {
+				return nil, err
+			}
+		case p.atKeyword("control"):
+			if err := p.parseControl(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("expected declaration, found %s", p.tok)
+		}
+	}
+	prog, err := p.builder.Build()
+	if err != nil {
+		return nil, fmt.Errorf("p4lite: %w", err)
+	}
+	return prog, nil
+}
+
+func (p *parser) parseFieldDecl() error {
+	kindTok, err := p.expectIdent("")
+	if err != nil {
+		return err
+	}
+	nameTok, err := p.expectIdent("")
+	if err != nil {
+		return err
+	}
+	if err := p.expectSymbol(":"); err != nil {
+		return err
+	}
+	bits, err := p.expectNumber()
+	if err != nil {
+		return err
+	}
+	if bits == 0 || bits > 128 {
+		return &Error{Line: nameTok.line, Col: nameTok.col,
+			Msg: fmt.Sprintf("field %q: width %d out of range 1..128", nameTok.text, bits)}
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	var f fields.Field
+	if kindTok.text == "metadata" {
+		f = fields.Metadata(nameTok.text, int(bits))
+	} else {
+		f = fields.Header(nameTok.text, int(bits))
+	}
+	if prev, dup := p.declared[f.Name]; dup && prev != f {
+		return &Error{Line: nameTok.line, Col: nameTok.col,
+			Msg: fmt.Sprintf("field %q redeclared with a different shape", f.Name)}
+	}
+	p.declared[f.Name] = f
+	return nil
+}
+
+// lookupField resolves a field reference.
+func (p *parser) lookupField(tok token) (fields.Field, error) {
+	f, ok := p.declared[tok.text]
+	if !ok {
+		return fields.Field{}, &Error{Line: tok.line, Col: tok.col,
+			Msg: fmt.Sprintf("unknown field %q (declare it with 'metadata' or 'header')", tok.text)}
+	}
+	return f, nil
+}
+
+func (p *parser) parseTable() error {
+	if _, err := p.expectIdent("table"); err != nil {
+		return err
+	}
+	nameTok, err := p.expectIdent("")
+	if err != nil {
+		return err
+	}
+	if p.tables[nameTok.text] {
+		return &Error{Line: nameTok.line, Col: nameTok.col,
+			Msg: fmt.Sprintf("table %q redeclared", nameTok.text)}
+	}
+	p.tables[nameTok.text] = true
+	if err := p.expectSymbol("{"); err != nil {
+		return err
+	}
+
+	capacity := 1024 // default when not stated
+	var keys []struct {
+		f fields.Field
+		t program.MatchType
+	}
+	type actionDef struct {
+		name string
+		ops  []program.Op
+	}
+	var actions []actionDef
+	defaultAction := ""
+
+	for !(p.tok.kind == tokSymbol && p.tok.text == "}") {
+		switch {
+		case p.atKeyword("capacity"):
+			if _, err := p.expectIdent("capacity"); err != nil {
+				return err
+			}
+			n, err := p.expectNumber()
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				return p.errf("capacity must be positive")
+			}
+			capacity = int(n)
+			if err := p.expectSymbol(";"); err != nil {
+				return err
+			}
+		case p.atKeyword("key"):
+			if _, err := p.expectIdent("key"); err != nil {
+				return err
+			}
+			fieldTok, err := p.expectIdent("")
+			if err != nil {
+				return err
+			}
+			f, err := p.lookupField(fieldTok)
+			if err != nil {
+				return err
+			}
+			if err := p.expectSymbol(":"); err != nil {
+				return err
+			}
+			mtTok, err := p.expectIdent("")
+			if err != nil {
+				return err
+			}
+			mt, err := matchTypeOf(mtTok)
+			if err != nil {
+				return err
+			}
+			if err := p.expectSymbol(";"); err != nil {
+				return err
+			}
+			keys = append(keys, struct {
+				f fields.Field
+				t program.MatchType
+			}{f, mt})
+		case p.atKeyword("action"):
+			if _, err := p.expectIdent("action"); err != nil {
+				return err
+			}
+			actTok, err := p.expectIdent("")
+			if err != nil {
+				return err
+			}
+			ops, err := p.parseActionBody()
+			if err != nil {
+				return err
+			}
+			actions = append(actions, actionDef{name: actTok.text, ops: ops})
+		case p.atKeyword("default"):
+			if _, err := p.expectIdent("default"); err != nil {
+				return err
+			}
+			defTok, err := p.expectIdent("")
+			if err != nil {
+				return err
+			}
+			defaultAction = defTok.text
+			if err := p.expectSymbol(";"); err != nil {
+				return err
+			}
+		default:
+			return p.errf("expected table item, found %s", p.tok)
+		}
+	}
+	if err := p.expectSymbol("}"); err != nil {
+		return err
+	}
+
+	p.builder.Table(nameTok.text, capacity)
+	for _, k := range keys {
+		p.builder.Key(k.f, k.t)
+	}
+	for _, a := range actions {
+		p.builder.ActionDef(a.name, a.ops...)
+	}
+	if defaultAction != "" {
+		p.builder.Default(defaultAction)
+	}
+	return nil
+}
+
+func matchTypeOf(tok token) (program.MatchType, error) {
+	switch tok.text {
+	case "exact":
+		return program.MatchExact, nil
+	case "lpm":
+		return program.MatchLPM, nil
+	case "ternary":
+		return program.MatchTernary, nil
+	case "range":
+		return program.MatchRange, nil
+	default:
+		return 0, &Error{Line: tok.line, Col: tok.col,
+			Msg: fmt.Sprintf("unknown match type %q (exact, lpm, ternary, range)", tok.text)}
+	}
+}
+
+func (p *parser) parseActionBody() ([]program.Op, error) {
+	if err := p.expectSymbol("{"); err != nil {
+		return nil, err
+	}
+	var ops []program.Op
+	for !(p.tok.kind == tokSymbol && p.tok.text == "}") {
+		op, err := p.parseOp()
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	return ops, p.expectSymbol("}")
+}
+
+func (p *parser) parseOp() (program.Op, error) {
+	verbTok, err := p.expectIdent("")
+	if err != nil {
+		return program.Op{}, err
+	}
+	switch verbTok.text {
+	case "set":
+		dst, err := p.dstField()
+		if err != nil {
+			return program.Op{}, err
+		}
+		if err := p.expectSymbol("<-"); err != nil {
+			return program.Op{}, err
+		}
+		imm, err := p.expectNumber()
+		if err != nil {
+			return program.Op{}, err
+		}
+		return program.SetOp(dst, imm), p.expectSymbol(";")
+	case "copy":
+		dst, err := p.dstField()
+		if err != nil {
+			return program.Op{}, err
+		}
+		if err := p.expectSymbol("<-"); err != nil {
+			return program.Op{}, err
+		}
+		src, err := p.srcField()
+		if err != nil {
+			return program.Op{}, err
+		}
+		return program.CopyOp(dst, src), p.expectSymbol(";")
+	case "add":
+		dst, err := p.dstField()
+		if err != nil {
+			return program.Op{}, err
+		}
+		if err := p.expectSymbol("<-"); err != nil {
+			return program.Op{}, err
+		}
+		src, err := p.srcField()
+		if err != nil {
+			return program.Op{}, err
+		}
+		var imm uint64
+		if p.tok.kind == tokSymbol && p.tok.text == "+" {
+			if err := p.expectSymbol("+"); err != nil {
+				return program.Op{}, err
+			}
+			imm, err = p.expectNumber()
+			if err != nil {
+				return program.Op{}, err
+			}
+		}
+		return program.AddOp(dst, src, imm), p.expectSymbol(";")
+	case "hash":
+		dst, err := p.dstField()
+		if err != nil {
+			return program.Op{}, err
+		}
+		if err := p.expectSymbol("<-"); err != nil {
+			return program.Op{}, err
+		}
+		var srcs []fields.Field
+		for {
+			src, err := p.srcField()
+			if err != nil {
+				return program.Op{}, err
+			}
+			srcs = append(srcs, src)
+			if p.tok.kind == tokSymbol && p.tok.text == "," {
+				if err := p.expectSymbol(","); err != nil {
+					return program.Op{}, err
+				}
+				continue
+			}
+			break
+		}
+		return program.HashOp(dst, srcs...), p.expectSymbol(";")
+	case "count":
+		dst, err := p.dstField()
+		if err != nil {
+			return program.Op{}, err
+		}
+		if err := p.expectSymbol("<-"); err != nil {
+			return program.Op{}, err
+		}
+		idx, err := p.srcField()
+		if err != nil {
+			return program.Op{}, err
+		}
+		return program.CountOp(dst, idx), p.expectSymbol(";")
+	case "dec":
+		dst, err := p.dstField()
+		if err != nil {
+			return program.Op{}, err
+		}
+		var imm uint64
+		if p.atKeyword("by") {
+			if _, err := p.expectIdent("by"); err != nil {
+				return program.Op{}, err
+			}
+			imm, err = p.expectNumber()
+			if err != nil {
+				return program.Op{}, err
+			}
+		}
+		return program.DecOp(dst, imm), p.expectSymbol(";")
+	default:
+		return program.Op{}, &Error{Line: verbTok.line, Col: verbTok.col,
+			Msg: fmt.Sprintf("unknown operation %q (set, copy, add, hash, count, dec)", verbTok.text)}
+	}
+}
+
+func (p *parser) dstField() (fields.Field, error) {
+	tok, err := p.expectIdent("")
+	if err != nil {
+		return fields.Field{}, err
+	}
+	return p.lookupField(tok)
+}
+
+func (p *parser) srcField() (fields.Field, error) {
+	tok, err := p.expectIdent("")
+	if err != nil {
+		return fields.Field{}, err
+	}
+	return p.lookupField(tok)
+}
+
+func (p *parser) parseControl() error {
+	if _, err := p.expectIdent("control"); err != nil {
+		return err
+	}
+	if err := p.expectSymbol("{"); err != nil {
+		return err
+	}
+	for !(p.tok.kind == tokSymbol && p.tok.text == "}") {
+		fromTok, err := p.expectIdent("")
+		if err != nil {
+			return err
+		}
+		if err := p.expectSymbol("->"); err != nil {
+			return err
+		}
+		toTok, err := p.expectIdent("")
+		if err != nil {
+			return err
+		}
+		if err := p.expectSymbol(";"); err != nil {
+			return err
+		}
+		if !p.tables[fromTok.text] {
+			return &Error{Line: fromTok.line, Col: fromTok.col,
+				Msg: fmt.Sprintf("control edge from unknown table %q", fromTok.text)}
+		}
+		if !p.tables[toTok.text] {
+			return &Error{Line: toTok.line, Col: toTok.col,
+				Msg: fmt.Sprintf("control edge to unknown table %q", toTok.text)}
+		}
+		p.builder.Gate(fromTok.text, toTok.text)
+	}
+	return p.expectSymbol("}")
+}

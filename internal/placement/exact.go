@@ -1,0 +1,339 @@
+package placement
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hermes-net/hermes/internal/network"
+	"github.com/hermes-net/hermes/internal/tdg"
+)
+
+// Exact is a specialized branch & bound over MAT→switch assignments
+// that proves the optimal A_max on small instances. It plays the role
+// of the paper's Gurobi-backed "Optimal" reference. On larger
+// instances it degrades gracefully: given a Deadline (or MaxNodes) it
+// returns the best incumbent found, with Proven=false — mirroring the
+// paper's two-hour solver cap in Fig. 7.
+type Exact struct {
+	// MaxNodes caps search nodes; zero means 4e6.
+	MaxNodes int
+}
+
+var _ Solver = (*Exact)(nil)
+
+// Name implements Solver.
+func (Exact) Name() string { return "Optimal" }
+
+// exactState carries the mutable search state.
+type exactState struct {
+	g     *tdg.Graph
+	topo  *network.Topology
+	opts  Options
+	order []string
+	cands []network.SwitchID
+
+	assign   map[string]network.SwitchID
+	load     map[network.SwitchID]float64
+	caps     map[network.SwitchID]float64
+	pair     map[RouteKey]int
+	curMax   int
+	distinct int
+
+	// contracted switch graph for cycle pruning.
+	swAdj map[network.SwitchID]map[network.SwitchID]int
+
+	bestA    int
+	bestSet  map[string]network.SwitchID
+	haveBest bool
+
+	nodes    int
+	maxNodes int
+	deadline time.Time
+	capped   bool
+
+	symmetry bool
+}
+
+// Solve implements Solver.
+func (e Exact) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Plan, error) {
+	start := time.Now()
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("placement: empty TDG")
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, fmt.Errorf("placement: %w", err)
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("placement: %w", err)
+	}
+	prog := topo.ProgrammableSwitches()
+	if len(prog) == 0 {
+		return nil, fmt.Errorf("placement: no programmable switches")
+	}
+	st := &exactState{
+		g:        g,
+		topo:     topo,
+		opts:     opts,
+		order:    order,
+		cands:    prog,
+		assign:   map[string]network.SwitchID{},
+		load:     map[network.SwitchID]float64{},
+		caps:     map[network.SwitchID]float64{},
+		pair:     map[RouteKey]int{},
+		swAdj:    map[network.SwitchID]map[network.SwitchID]int{},
+		bestA:    int(^uint(0) >> 1), // max int
+		maxNodes: e.MaxNodes,
+		deadline: opts.Deadline,
+	}
+	if st.maxNodes <= 0 {
+		st.maxNodes = 4 << 20
+	}
+	homogeneous := true
+	var s0 *network.Switch
+	for _, id := range prog {
+		sw, err := topo.Switch(id)
+		if err != nil {
+			return nil, err
+		}
+		st.caps[id] = sw.Capacity()
+		if s0 == nil {
+			s0 = sw
+		} else if sw.Stages != s0.Stages || sw.StageCapacity != s0.StageCapacity {
+			homogeneous = false
+		}
+	}
+	// Symmetry breaking (a MAT may open only the lowest-indexed unused
+	// switch) is sound only when switches are interchangeable for the
+	// objective: homogeneous capacities and no latency bound.
+	st.symmetry = homogeneous && opts.Epsilon1 == 0
+
+	// Warm start with the greedy heuristic to obtain a strong incumbent.
+	if warm, err := (Greedy{}).Solve(g, topo, opts); err == nil {
+		st.bestA = warm.AMax()
+		st.bestSet = map[string]network.SwitchID{}
+		for name, sp := range warm.Assignments {
+			st.bestSet[name] = sp.Switch
+		}
+		st.haveBest = true
+	}
+
+	st.dfs(0)
+
+	if !st.haveBest {
+		if st.capped {
+			return nil, fmt.Errorf("placement: exact search hit its limit with no feasible plan")
+		}
+		return nil, fmt.Errorf("placement: no feasible deployment exists")
+	}
+
+	plan, err := e.materialize(st)
+	if err != nil {
+		return nil, err
+	}
+	plan.SolverName = e.Name()
+	plan.SolveTime = time.Since(start)
+	plan.Proven = !st.capped
+	return plan, nil
+}
+
+// dfs explores assignments of order[i:].
+func (st *exactState) dfs(i int) {
+	st.nodes++
+	if st.capped {
+		return
+	}
+	if st.nodes >= st.maxNodes || (!st.deadline.IsZero() && st.nodes%1024 == 0 && time.Now().After(st.deadline)) {
+		st.capped = true
+		return
+	}
+	if i == len(st.order) {
+		st.evaluateLeaf()
+		return
+	}
+	name := st.order[i]
+	node, _ := st.g.Node(name)
+	req := st.opts.resourceModel().Requirement(node.MAT)
+
+	eps2 := st.opts.epsilon2(len(st.cands))
+
+	usedHighest := -1
+	if st.symmetry {
+		for idx, u := range st.cands {
+			if st.load[u] > 0 {
+				usedHighest = idx
+			}
+		}
+	}
+	for idx, u := range st.cands {
+		// Symmetry: only the first unused switch may be opened (with no
+		// switches in use yet that is candidate 0).
+		if st.symmetry && st.load[u] == 0 && idx > usedHighest+1 {
+			continue
+		}
+		if st.load[u]+req > st.caps[u]+1e-9 {
+			continue
+		}
+		newSwitch := st.load[u] == 0
+		if newSwitch && st.distinct+1 > eps2 {
+			continue
+		}
+		// Incremental pair bytes and cycle check over in-edges, with an
+		// explicit undo log.
+		type undo struct {
+			key   RouteKey
+			bytes int
+		}
+		var log []undo
+		prevMax := st.curMax
+		ok := true
+		for _, e := range st.g.InEdges(name) {
+			pu, assigned := st.assign[e.From]
+			if !assigned || pu == u {
+				continue
+			}
+			if st.reachable(u, pu) {
+				ok = false
+				break
+			}
+			key := RouteKey{From: pu, To: u}
+			st.pair[key] += e.MetadataBytes
+			if st.pair[key] > st.curMax {
+				st.curMax = st.pair[key]
+			}
+			if st.swAdj[pu] == nil {
+				st.swAdj[pu] = map[network.SwitchID]int{}
+			}
+			st.swAdj[pu][u]++
+			log = append(log, undo{key: key, bytes: e.MetadataBytes})
+		}
+		if ok && (!st.haveBest || st.curMax < st.bestA) {
+			st.assign[name] = u
+			st.load[u] += req
+			if newSwitch {
+				st.distinct++
+			}
+			st.dfs(i + 1)
+			st.load[u] -= req
+			if newSwitch {
+				st.distinct--
+				st.load[u] = 0
+			}
+			delete(st.assign, name)
+		}
+		for j := len(log) - 1; j >= 0; j-- {
+			en := log[j]
+			st.pair[en.key] -= en.bytes
+			if st.pair[en.key] <= 0 {
+				delete(st.pair, en.key)
+			}
+			st.swAdj[en.key.From][en.key.To]--
+			if st.swAdj[en.key.From][en.key.To] <= 0 {
+				delete(st.swAdj[en.key.From], en.key.To)
+			}
+		}
+		st.curMax = prevMax
+		if st.capped {
+			return
+		}
+	}
+}
+
+// reachable reports whether dst is reachable from src in the contracted
+// switch graph.
+func (st *exactState) reachable(src, dst network.SwitchID) bool {
+	if src == dst {
+		return true
+	}
+	stack := []network.SwitchID{src}
+	seen := map[network.SwitchID]bool{src: true}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for to := range st.swAdj[n] {
+			if to == dst {
+				return true
+			}
+			if !seen[to] {
+				seen[to] = true
+				stack = append(stack, to)
+			}
+		}
+	}
+	return false
+}
+
+// evaluateLeaf validates a complete assignment and records it when it
+// improves the incumbent.
+func (st *exactState) evaluateLeaf() {
+	if st.haveBest && st.curMax >= st.bestA {
+		return
+	}
+	// Stage-level packing per switch.
+	bySwitch := map[network.SwitchID][]string{}
+	for name, u := range st.assign {
+		bySwitch[u] = append(bySwitch[u], name)
+	}
+	rm := st.opts.resourceModel()
+	for u, names := range bySwitch {
+		sw, err := st.topo.Switch(u)
+		if err != nil {
+			return
+		}
+		if !FitsSwitch(st.g, names, sw, rm) {
+			return
+		}
+	}
+	// ε1 bound via shortest paths between communicating pairs.
+	if st.opts.Epsilon1 > 0 {
+		var total time.Duration
+		for key := range st.pair {
+			p, err := st.topo.ShortestPath(key.From, key.To)
+			if err != nil {
+				return
+			}
+			total += p.Latency
+		}
+		if total > st.opts.Epsilon1 {
+			return
+		}
+	}
+	st.bestA = st.curMax
+	st.bestSet = map[string]network.SwitchID{}
+	for name, u := range st.assign {
+		st.bestSet[name] = u
+	}
+	st.haveBest = true
+}
+
+// materialize turns the best assignment into a full plan with stage
+// packing and routes.
+func (e Exact) materialize(st *exactState) (*Plan, error) {
+	plan := &Plan{
+		Graph:       st.g,
+		Topo:        st.topo,
+		Assignments: map[string]StagePlacement{},
+	}
+	bySwitch := map[network.SwitchID][]string{}
+	for name, u := range st.bestSet {
+		bySwitch[u] = append(bySwitch[u], name)
+	}
+	rm := st.opts.resourceModel()
+	for u, names := range bySwitch {
+		sw, err := st.topo.Switch(u)
+		if err != nil {
+			return nil, err
+		}
+		placed, err := PackStages(st.g, names, sw, rm)
+		if err != nil {
+			return nil, fmt.Errorf("placement: materializing exact plan: %w", err)
+		}
+		for name, sp := range placed {
+			plan.Assignments[name] = sp
+		}
+	}
+	if err := addRoutesForCrossPairs(plan); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}

@@ -1,0 +1,425 @@
+package placement
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hermes-net/hermes/internal/network"
+	"github.com/hermes-net/hermes/internal/program"
+	"github.com/hermes-net/hermes/internal/tdg"
+)
+
+// Greedy implements the paper's Algorithm 2: recursively split the
+// merged TDG at minimum-metadata cuts until every segment fits a single
+// switch, then deploy the segment chain onto the candidate switch set
+// around some programmable switch, connecting consecutive switches by
+// shortest paths.
+//
+// Three refinements extend the published algorithm; each can be
+// disabled for ablation studies (see the Ablation* benchmarks):
+// coalescing of adjacent under-full segments, the DP capacity split
+// fallback when bisection over-fragments, and a bounded local-search
+// polish of the final assignment.
+type Greedy struct {
+	// DisableCoalesce skips merging adjacent under-full segments.
+	DisableCoalesce bool
+	// DisableDPSplit skips the minimum-segment-count DP fallback.
+	DisableDPSplit bool
+	// DisableImprove skips the local-search polish.
+	DisableImprove bool
+	// ImproveBudget caps the local search (default 2s when no Deadline
+	// is set in Options).
+	ImproveBudget time.Duration
+}
+
+var _ Solver = (*Greedy)(nil)
+
+// Name implements Solver.
+func (Greedy) Name() string { return "Hermes" }
+
+// Solve implements Solver.
+func (gr Greedy) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Plan, error) {
+	start := time.Now()
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("placement: empty TDG")
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, fmt.Errorf("placement: %w", err)
+	}
+	rm := opts.resourceModel()
+	prog := topo.ProgrammableSwitches()
+	if len(prog) == 0 {
+		return nil, fmt.Errorf("placement: no programmable switches")
+	}
+	refSwitch, err := topo.Switch(prog[0])
+	if err != nil {
+		return nil, err
+	}
+
+	// Alg. 2 line 20: split T_m into segments that fit one switch.
+	segments, err := SplitTDG(g, refSwitch, rm)
+	if err != nil {
+		return nil, err
+	}
+	// Bisection can overshoot the minimum segment count; coalesce
+	// adjacent segments while the pair still fits one switch. Merging
+	// adjacent segments only ever removes cross-switch bytes, so this
+	// strictly improves the objective.
+	if !gr.DisableCoalesce {
+		segments, err = coalesceSegments(g, segments, refSwitch, rm)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Candidate segmentations, tried in order: the min-cut bisection
+	// (byte-optimal), then — if it needs too many switches — the DP
+	// capacity split, which provably uses the minimum number of
+	// contiguous segments while still preferring low-byte cut points.
+	candidates := [][]*tdg.Graph{segments}
+	if !gr.DisableDPSplit {
+		if dpSegs, derr := capacitySplit(g, refSwitch, rm); derr == nil && len(dpSegs) < len(segments) {
+			candidates = append(candidates, dpSegs)
+		}
+	}
+
+	var lastErr error
+	for _, segs := range candidates {
+		plan, err := placeWithRefinement(g, topo, segs, opts, rm)
+		if err == nil {
+			if !gr.DisableImprove {
+				// Refinement: bounded local search over single-MAT moves.
+				deadline := opts.Deadline
+				if deadline.IsZero() {
+					budget := gr.ImproveBudget
+					if budget <= 0 {
+						budget = 2 * time.Second
+					}
+					deadline = time.Now().Add(budget)
+				}
+				if ierr := localImprove(plan, opts, rm, deadline); ierr != nil {
+					return nil, ierr
+				}
+			}
+			plan.SolverName = gr.Name()
+			plan.SolveTime = time.Since(start)
+			return plan, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// placeWithRefinement runs the placement loop, splitting segments that
+// pass the capacity test but fail stage-level packing.
+func placeWithRefinement(g *tdg.Graph, topo *network.Topology, segments []*tdg.Graph, opts Options, rm program.ResourceModel) (*Plan, error) {
+	const maxRefinements = 64
+	for attempt := 0; attempt < maxRefinements; attempt++ {
+		plan, splitIdx, err := placeSegments(g, topo, segments, opts, rm)
+		if err == nil {
+			return plan, nil
+		}
+		if splitIdx < 0 {
+			return nil, err
+		}
+		// Packing rejected segment splitIdx: split it once and retry.
+		seg := segments[splitIdx]
+		if seg.NumNodes() <= 1 {
+			return nil, fmt.Errorf("placement: MAT set unplaceable: %w", err)
+		}
+		left, right, serr := splitOnce(seg, rm)
+		if serr != nil {
+			return nil, fmt.Errorf("placement: refining segment: %w (after %v)", serr, err)
+		}
+		segments = append(segments[:splitIdx],
+			append([]*tdg.Graph{left, right}, segments[splitIdx+1:]...)...)
+	}
+	return nil, fmt.Errorf("placement: segment refinement did not converge")
+}
+
+// capacitySplit partitions the topological order into the minimum
+// number of contiguous capacity-feasible segments by dynamic
+// programming, breaking ties toward the smallest total boundary-cut
+// bytes.
+func capacitySplit(g *tdg.Graph, sw *network.Switch, rm program.ResourceModel) ([]*tdg.Graph, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	n := len(order)
+	cap := sw.Capacity()
+	req := make([]float64, n)
+	for i, name := range order {
+		node, _ := g.Node(name)
+		req[i] = rm.Requirement(node.MAT)
+		if req[i] > cap+1e-9 {
+			return nil, fmt.Errorf("placement: MAT %q alone exceeds switch capacity %g", name, cap)
+		}
+	}
+	// cutAt[j] = bytes crossing the boundary between order[:j] and
+	// order[j:], computed by the incremental prefix sweep.
+	cutAt := make([]int, n+1)
+	va := map[string]bool{}
+	cut := 0
+	for k := 0; k < n; k++ {
+		name := order[k]
+		for _, e := range g.OutEdges(name) {
+			cut += e.MetadataBytes
+		}
+		for _, e := range g.InEdges(name) {
+			if va[e.From] {
+				cut -= e.MetadataBytes
+			}
+		}
+		va[name] = true
+		cutAt[k+1] = cut
+	}
+
+	const inf = int(^uint(0) >> 1)
+	type cell struct{ groups, cost int }
+	dp := make([]cell, n+1)
+	prev := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		dp[i] = cell{groups: inf, cost: inf}
+		prev[i] = -1
+	}
+	for i := 1; i <= n; i++ {
+		weight := 0.0
+		for j := i - 1; j >= 0; j-- {
+			weight += req[j]
+			if weight > cap+1e-9 {
+				break
+			}
+			if dp[j].groups == inf {
+				continue
+			}
+			if !FitsSwitch(g, order[j:i], sw, rm) {
+				continue
+			}
+			boundary := 0
+			if j > 0 {
+				boundary = cutAt[j]
+			}
+			cand := cell{groups: dp[j].groups + 1, cost: dp[j].cost + boundary}
+			if cand.groups < dp[i].groups || (cand.groups == dp[i].groups && cand.cost < dp[i].cost) {
+				dp[i] = cand
+				prev[i] = j
+			}
+		}
+	}
+	if dp[n].groups == inf {
+		return nil, fmt.Errorf("placement: no capacity-feasible contiguous split exists")
+	}
+	// Reconstruct boundaries.
+	var bounds []int
+	for at := n; at > 0; at = prev[at] {
+		bounds = append(bounds, at)
+	}
+	// bounds is descending [n, ..., first]; build segments in order.
+	var segments []*tdg.Graph
+	start := 0
+	for i := len(bounds) - 1; i >= 0; i-- {
+		end := bounds[i]
+		sub, err := g.Subgraph(order[start:end])
+		if err != nil {
+			return nil, err
+		}
+		segments = append(segments, sub)
+		start = end
+	}
+	return segments, nil
+}
+
+// SplitTDG is Alg. 2's SPLIT_TDG: recursively bisect the TDG at the
+// minimum-metadata topological prefix cut until every segment satisfies
+// the switch capacity C_stage·C_res. Segments come back in dependency
+// order (all TDG edges flow from earlier to later segments).
+func SplitTDG(g *tdg.Graph, sw *network.Switch, rm program.ResourceModel) ([]*tdg.Graph, error) {
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("placement: splitting empty TDG")
+	}
+	// Line 2: the fit test. The paper checks the capacity sum
+	// ΣR(a) ≤ C_stage·C_res; we additionally require an actual stage
+	// packing so that dependency depth (Eq. 8) cannot invalidate a
+	// segment later.
+	if CapacityFits(g, rm, sw) && FitsSwitch(g, g.NodeNames(), sw, rm) {
+		return []*tdg.Graph{g}, nil
+	}
+	if g.NumNodes() == 1 {
+		return nil, fmt.Errorf("placement: MAT %q alone exceeds switch capacity %g",
+			g.NodeNames()[0], sw.Capacity())
+	}
+	left, right, err := splitOnce(g, rm)
+	if err != nil {
+		return nil, err
+	}
+	ls, err := SplitTDG(left, sw, rm)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := SplitTDG(right, sw, rm)
+	if err != nil {
+		return nil, err
+	}
+	return append(ls, rs...), nil
+}
+
+// splitOnce performs one greedy bisection (Alg. 2 lines 4-14): sweep
+// topological prefixes, keeping the prefix whose outgoing metadata is
+// minimal. Both sides are guaranteed non-empty.
+func splitOnce(g *tdg.Graph, rm program.ResourceModel) (left, right *tdg.Graph, err error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(order)
+	if n < 2 {
+		return nil, nil, fmt.Errorf("placement: cannot split %d-node TDG", n)
+	}
+	va := map[string]bool{}
+	bestCut := -1
+	bestK := -1
+	bestBalance := 0.0
+	cut := 0
+	total := g.TotalRequirement(rm)
+	leftReq := 0.0
+	// Move MATs one by one from V_b to V_a, updating the cut
+	// incrementally: moving a node adds its out-edges (now crossing)
+	// and removes its in-edges from V_a (no longer crossing). Ties on
+	// the cut value are broken toward the most resource-balanced
+	// bisection, so recursion produces segments that fill switches
+	// instead of peeling off single MATs (many cuts are zero when
+	// independent programs share a TDG).
+	for k := 0; k < n-1; k++ {
+		name := order[k]
+		for _, e := range g.OutEdges(name) {
+			cut += e.MetadataBytes
+		}
+		for _, e := range g.InEdges(name) {
+			if va[e.From] {
+				cut -= e.MetadataBytes
+			}
+		}
+		va[name] = true
+		node, _ := g.Node(name)
+		leftReq += rm.Requirement(node.MAT)
+		imbalance := leftReq - total/2
+		if imbalance < 0 {
+			imbalance = -imbalance
+		}
+		if bestCut < 0 || cut < bestCut || (cut == bestCut && imbalance < bestBalance) {
+			bestCut = cut
+			bestK = k
+			bestBalance = imbalance
+		}
+	}
+	leftNames := order[:bestK+1]
+	rightNames := order[bestK+1:]
+	left, err = g.Subgraph(leftNames)
+	if err != nil {
+		return nil, nil, err
+	}
+	right, err = g.Subgraph(rightNames)
+	if err != nil {
+		return nil, nil, err
+	}
+	return left, right, nil
+}
+
+// coalesceSegments greedily merges consecutive segments while the
+// combination still satisfies the capacity test, reducing the switch
+// count (and the inter-switch bytes) without reordering.
+func coalesceSegments(g *tdg.Graph, segments []*tdg.Graph, sw *network.Switch, rm program.ResourceModel) ([]*tdg.Graph, error) {
+	if len(segments) <= 1 {
+		return segments, nil
+	}
+	var out []*tdg.Graph
+	cur := segments[0]
+	curReq := cur.TotalRequirement(rm)
+	for _, seg := range segments[1:] {
+		req := seg.TotalRequirement(rm)
+		if curReq+req <= sw.Capacity()+1e-9 {
+			mergedNames := append(cur.NodeNames(), seg.NodeNames()...)
+			merged, err := g.Subgraph(mergedNames)
+			if err != nil {
+				return nil, err
+			}
+			if FitsSwitch(g, mergedNames, sw, rm) {
+				cur = merged
+				curReq += req
+				continue
+			}
+		}
+		out = append(out, cur)
+		cur = seg
+		curReq = req
+	}
+	return append(out, cur), nil
+}
+
+// placeSegments tries every programmable switch u as the anchor (Alg. 2
+// lines 21-29). On packing failure it reports the index of the
+// offending segment so the caller can refine. splitIdx == -1 signals a
+// non-recoverable error.
+func placeSegments(g *tdg.Graph, topo *network.Topology, segments []*tdg.Graph, opts Options, rm program.ResourceModel) (*Plan, int, error) {
+	prog := topo.ProgrammableSwitches()
+	eps2 := opts.epsilon2(len(prog))
+	if len(segments) > eps2 {
+		return nil, -1, fmt.Errorf("placement: %d segments exceed ε2=%d switches", len(segments), eps2)
+	}
+
+	var lastErr error
+	lastSplit := -1
+	for _, u := range prog {
+		// SELECT_SWITCHES: u plus its ε2-1 nearest programmable
+		// neighbors within latency ε1.
+		near, err := topo.NearestProgrammable(u, eps2-1, opts.Epsilon1)
+		if err != nil {
+			return nil, -1, err
+		}
+		cands := append([]network.SwitchID{u}, near...)
+		if len(segments) > len(cands) {
+			lastErr = fmt.Errorf("placement: anchor %d offers only %d candidate switches for %d segments",
+				u, len(cands), len(segments))
+			continue
+		}
+		plan, splitIdx, err := tryAssign(g, topo, segments, cands, rm)
+		if err == nil {
+			return plan, -1, nil
+		}
+		lastErr = err
+		if splitIdx >= 0 {
+			lastSplit = splitIdx
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("placement: no programmable switch anchors the deployment")
+	}
+	return nil, lastSplit, lastErr
+}
+
+// tryAssign maps segment i onto candidate switch i and packs stages.
+func tryAssign(g *tdg.Graph, topo *network.Topology, segments []*tdg.Graph, cands []network.SwitchID, rm program.ResourceModel) (*Plan, int, error) {
+	plan := &Plan{
+		Graph:       g,
+		Topo:        topo,
+		Assignments: map[string]StagePlacement{},
+	}
+	for i, seg := range segments {
+		sw, err := topo.Switch(cands[i])
+		if err != nil {
+			return nil, -1, err
+		}
+		placed, err := PackStages(g, seg.NodeNames(), sw, rm)
+		if err != nil {
+			return nil, i, fmt.Errorf("placement: segment %d on switch %q: %w", i, sw.Name, err)
+		}
+		for name, sp := range placed {
+			plan.Assignments[name] = sp
+		}
+	}
+	if err := addRoutesForCrossPairs(plan); err != nil {
+		return nil, -1, err
+	}
+	return plan, -1, nil
+}

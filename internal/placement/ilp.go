@@ -1,0 +1,349 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/hermes-net/hermes/internal/milp"
+	"github.com/hermes-net/hermes/internal/network"
+	"github.com/hermes-net/hermes/internal/program"
+	"github.com/hermes-net/hermes/internal/tdg"
+)
+
+// ILP solves problem P#1 through the literal MILP encoding, using the
+// internal branch-and-bound solver in place of Gurobi. The decision
+// variable x(a,i,u) is aggregated per switch into L(a,u) — the paper's
+// own edge constraints (Eq. 7) are stated over L — and the stage-level
+// split is recovered afterwards with the same packer the other solvers
+// use. Products L(a,u)·L(b,v) in Eq. 1 are linearized with standard
+// big-M-free z variables (z ≥ L(a,u) + L(b,v) − 1).
+//
+// When the packer or the switch-ordering check rejects an ILP optimum
+// (the MILP is a relaxation of the stage-granular problem), a no-good
+// cut is added and the model re-solved, up to a bounded number of
+// rounds.
+type ILP struct {
+	// MaxNoGoodCuts bounds the repair loop; zero means 16.
+	MaxNoGoodCuts int
+	// Objective selects what the MILP minimizes; zero value is
+	// ObjBytes (Hermes' A_max). The other objectives realize the
+	// ILP-based comparison frameworks, which share the constraint set
+	// but optimize performance- or resource-oriented goals.
+	Objective ILPObjective
+	// DisplayName overrides Name() in reports (e.g. "MS-ILP").
+	DisplayName string
+}
+
+// ILPObjective enumerates the supported MILP objectives.
+type ILPObjective int
+
+const (
+	// ObjBytes minimizes A_max (Hermes, Eq. 1).
+	ObjBytes ILPObjective = iota
+	// ObjLatency minimizes the summed shortest-path latency between
+	// communicating switch pairs (SPEED/MTP-style performance focus).
+	ObjLatency
+	// ObjSwitches minimizes the number of occupied switches
+	// (Min-Stage/Flightplan-style consolidation).
+	ObjSwitches
+	// ObjBalance minimizes the maximum per-switch load (Sonata-style
+	// headroom balancing).
+	ObjBalance
+)
+
+// String names the objective.
+func (o ILPObjective) String() string {
+	switch o {
+	case ObjBytes:
+		return "bytes"
+	case ObjLatency:
+		return "latency"
+	case ObjSwitches:
+		return "switches"
+	case ObjBalance:
+		return "balance"
+	default:
+		return fmt.Sprintf("ILPObjective(%d)", int(o))
+	}
+}
+
+var _ Solver = (*ILP)(nil)
+
+// Name implements Solver.
+func (s ILP) Name() string {
+	if s.DisplayName != "" {
+		return s.DisplayName
+	}
+	if s.Objective == ObjBytes {
+		return "Hermes-ILP"
+	}
+	return "ILP-" + s.Objective.String()
+}
+
+// EstimateVars predicts the MILP size for an instance: the L, z, and
+// auxiliary variable counts. Callers use it to decide whether a solve
+// can finish within a deadline (the paper's Fig. 7 caps runs at two
+// hours; we cap by estimated size plus wall clock).
+func EstimateVars(g *tdg.Graph, topo *network.Topology) int {
+	prog := len(topo.ProgrammableSwitches())
+	edges := g.NumEdges()
+	return g.NumNodes()*prog + edges*prog*(prog-1) + 2*prog + 2
+}
+
+// Solve implements Solver.
+func (s ILP) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Plan, error) {
+	start := time.Now()
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("placement: empty TDG")
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, fmt.Errorf("placement: %w", err)
+	}
+	prog := topo.ProgrammableSwitches()
+	if len(prog) == 0 {
+		return nil, fmt.Errorf("placement: no programmable switches")
+	}
+	maxCuts := s.MaxNoGoodCuts
+	if maxCuts <= 0 {
+		maxCuts = 16
+	}
+	rm := opts.resourceModel()
+	nodes := g.NodeNames()
+	edges := g.Edges()
+	eps2 := opts.epsilon2(len(prog))
+
+	m := milp.NewModel()
+	// L(a,u).
+	lvar := map[string]map[network.SwitchID]milp.Var{}
+	for _, a := range nodes {
+		lvar[a] = map[network.SwitchID]milp.Var{}
+		assign := milp.Expr{}
+		for _, u := range prog {
+			v, err := m.AddBinaryVar(fmt.Sprintf("L(%s,%d)", a, u), 0)
+			if err != nil {
+				return nil, err
+			}
+			lvar[a][u] = v
+			assign = assign.Plus(v, 1)
+		}
+		// Eq. 6 (as equality: exactly one host).
+		if err := m.AddConstraint("deploy:"+a, assign, milp.EQ, 1); err != nil {
+			return nil, err
+		}
+	}
+	// A_max: the objective for ObjBytes, otherwise a free diagnostic.
+	amaxCoeff := 0.0
+	if s.Objective == ObjBytes {
+		amaxCoeff = 1
+	}
+	amax, err := m.AddVar("A_max", 0, math.Inf(1), amaxCoeff)
+	if err != nil {
+		return nil, err
+	}
+	// z(e,u,v) with linking constraints, and per-pair byte sums.
+	needAllZ := opts.Epsilon1 > 0 || s.Objective == ObjLatency
+	pairSum := map[RouteKey]milp.Expr{}
+	pairInd := map[RouteKey][]milp.Var{}
+	for ei, e := range edges {
+		if e.MetadataBytes == 0 && !needAllZ {
+			continue // zero-cost edges cannot affect A_max nor latency
+		}
+		for _, u := range prog {
+			for _, v := range prog {
+				if u == v {
+					continue
+				}
+				z, err := m.AddVar(fmt.Sprintf("z(%d,%d,%d)", ei, u, v), 0, 1, 0)
+				if err != nil {
+					return nil, err
+				}
+				// z ≥ L(a,u) + L(b,v) − 1.
+				link := milp.Expr{}.Plus(lvar[e.From][u], 1).Plus(lvar[e.To][v], 1).Plus(z, -1)
+				if err := m.AddConstraint("link", link, milp.LE, 1); err != nil {
+					return nil, err
+				}
+				key := RouteKey{From: u, To: v}
+				pairSum[key] = pairSum[key].Plus(z, float64(e.MetadataBytes))
+				pairInd[key] = append(pairInd[key], z)
+			}
+		}
+	}
+	// Eq. 1: A_max dominates every pair sum.
+	for key, expr := range pairSum {
+		c := expr.Plus(amax, -1)
+		if err := m.AddConstraint(fmt.Sprintf("amax(%d,%d)", key.From, key.To), c, milp.LE, 0); err != nil {
+			return nil, err
+		}
+	}
+	// Eq. 9 aggregated per switch: Σ R(a)·L(a,u) ≤ capacity(u).
+	for _, u := range prog {
+		sw, err := topo.Switch(u)
+		if err != nil {
+			return nil, err
+		}
+		capc := milp.Expr{}
+		for _, a := range nodes {
+			node, _ := g.Node(a)
+			capc = capc.Plus(lvar[a][u], rm.Requirement(node.MAT))
+		}
+		if err := m.AddConstraint(fmt.Sprintf("cap(%d)", u), capc, milp.LE, sw.Capacity()); err != nil {
+			return nil, err
+		}
+	}
+	// Eq. 5: occupancy indicators o(u) ≥ L(a,u); built when the bound
+	// binds or when the objective is switch minimization.
+	if eps2 < len(prog) || s.Objective == ObjSwitches {
+		occCoeff := 0.0
+		if s.Objective == ObjSwitches {
+			occCoeff = 1
+		}
+		occ := milp.Expr{}
+		for _, u := range prog {
+			o, err := m.AddBinaryVar(fmt.Sprintf("o(%d)", u), occCoeff)
+			if err != nil {
+				return nil, err
+			}
+			for _, a := range nodes {
+				c := milp.Expr{}.Plus(lvar[a][u], 1).Plus(o, -1)
+				if err := m.AddConstraint("occ-link", c, milp.LE, 0); err != nil {
+					return nil, err
+				}
+			}
+			occ = occ.Plus(o, 1)
+		}
+		if eps2 < len(prog) {
+			if err := m.AddConstraint("eps2", occ, milp.LE, float64(eps2)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// ObjBalance: minimize the maximum per-switch load.
+	if s.Objective == ObjBalance {
+		lmax, err := m.AddVar("L_max", 0, math.Inf(1), 1)
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range prog {
+			load := milp.Expr{}
+			for _, a := range nodes {
+				node, _ := g.Node(a)
+				load = load.Plus(lvar[a][u], rm.Requirement(node.MAT))
+			}
+			load = load.Plus(lmax, -1)
+			if err := m.AddConstraint(fmt.Sprintf("bal(%d)", u), load, milp.LE, 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Pair-communication indicators c(u,v): Eq. 4's latency bound and
+	// the ObjLatency objective both price them.
+	if opts.Epsilon1 > 0 || s.Objective == ObjLatency {
+		latCoeff := 0.0
+		if s.Objective == ObjLatency {
+			// Scale nanoseconds down so coefficients stay well
+			// conditioned for the simplex.
+			latCoeff = 1e-6
+		}
+		lat := milp.Expr{}
+		for key, zs := range pairInd {
+			sp, err := topo.ShortestPath(key.From, key.To)
+			if err != nil {
+				return nil, fmt.Errorf("placement: pair latency requires connectivity: %w", err)
+			}
+			c, err := m.AddVar(fmt.Sprintf("c(%d,%d)", key.From, key.To), 0, 1, latCoeff*float64(sp.Latency))
+			if err != nil {
+				return nil, err
+			}
+			for _, z := range zs {
+				link := milp.Expr{}.Plus(z, 1).Plus(c, -1)
+				if err := m.AddConstraint("lat-link", link, milp.LE, 0); err != nil {
+					return nil, err
+				}
+			}
+			lat = lat.Plus(c, float64(sp.Latency))
+		}
+		if opts.Epsilon1 > 0 {
+			if err := m.AddConstraint("eps1", lat, milp.LE, float64(opts.Epsilon1)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Solve, repairing stage-infeasible optima with no-good cuts.
+	proven := true
+	for cut := 0; cut <= maxCuts; cut++ {
+		sol := m.Solve(milp.Options{Deadline: opts.Deadline})
+		switch sol.Status {
+		case milp.StatusOptimal:
+		case milp.StatusFeasible:
+			proven = false
+		case milp.StatusDeadline:
+			return nil, fmt.Errorf("placement: ILP hit deadline with no feasible plan")
+		default:
+			return nil, fmt.Errorf("placement: ILP %v", sol.Status)
+		}
+		assign := map[string]network.SwitchID{}
+		for _, a := range nodes {
+			for _, u := range prog {
+				if sol.Int(lvar[a][u]) == 1 {
+					assign[a] = u
+					break
+				}
+			}
+			if _, ok := assign[a]; !ok {
+				return nil, fmt.Errorf("placement: ILP left MAT %q unassigned", a)
+			}
+		}
+		plan, err := materializeAssignment(g, topo, assign, rm)
+		if err == nil {
+			if _, derr := plan.SwitchOrder(); derr == nil {
+				plan.SolverName = s.Name()
+				plan.SolveTime = time.Since(start)
+				plan.Proven = proven
+				return plan, nil
+			}
+		}
+		// No-good cut: forbid this exact assignment.
+		ng := milp.Expr{}
+		for a, u := range assign {
+			ng = ng.Plus(lvar[a][u], 1)
+		}
+		if err := m.AddConstraint(fmt.Sprintf("nogood%d", cut), ng, milp.LE, float64(len(nodes)-1)); err != nil {
+			return nil, err
+		}
+		proven = false
+	}
+	return nil, fmt.Errorf("placement: ILP optima kept failing stage packing after %d cuts", maxCuts)
+}
+
+// materializeAssignment packs a switch-level assignment into stages and
+// adds routes.
+func materializeAssignment(g *tdg.Graph, topo *network.Topology, assign map[string]network.SwitchID, rm program.ResourceModel) (*Plan, error) {
+	plan := &Plan{
+		Graph:       g,
+		Topo:        topo,
+		Assignments: map[string]StagePlacement{},
+	}
+	bySwitch := map[network.SwitchID][]string{}
+	for name, u := range assign {
+		bySwitch[u] = append(bySwitch[u], name)
+	}
+	for u, names := range bySwitch {
+		sw, err := topo.Switch(u)
+		if err != nil {
+			return nil, err
+		}
+		placed, err := PackStages(g, names, sw, rm)
+		if err != nil {
+			return nil, fmt.Errorf("placement: materializing assignment: %w", err)
+		}
+		for name, sp := range placed {
+			plan.Assignments[name] = sp
+		}
+	}
+	if err := addRoutesForCrossPairs(plan); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}

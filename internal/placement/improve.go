@@ -1,0 +1,195 @@
+package placement
+
+import (
+	"sort"
+	"time"
+
+	"github.com/hermes-net/hermes/internal/network"
+	"github.com/hermes-net/hermes/internal/program"
+)
+
+// localImprove runs a bounded first-improvement hill climb over the
+// greedy plan: it tries moving each MAT to another occupied switch and
+// keeps the move when it strictly reduces (A_max, total cross bytes)
+// while preserving every constraint (stage packing, switch-order
+// acyclicity, ε bounds). The paper's Algorithm 2 stops at the segment
+// placement; this refinement is an extension that narrows the
+// heuristic's gap to the optimum at negligible cost, since contiguous
+// topological segmentation cannot express every good partition.
+func localImprove(p *Plan, opts Options, rm program.ResourceModel, deadline time.Time) error {
+	assign := map[string]network.SwitchID{}
+	for name, sp := range p.Assignments {
+		assign[name] = sp.Switch
+	}
+	used := usedSwitches(assign)
+	bestA, bestCross := scoreAssignment(p, assign)
+
+	names := p.Graph.NodeNames()
+	sort.Strings(names)
+
+	const maxPasses = 4
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for _, name := range names {
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				break
+			}
+			cur := assign[name]
+			for _, cand := range used {
+				if cand == cur {
+					continue
+				}
+				assign[name] = cand
+				a, cross := scoreAssignment(p, assign)
+				if a > bestA || (a == bestA && cross >= bestCross) {
+					assign[name] = cur
+					continue
+				}
+				if !moveFeasible(p, assign, opts, rm, cur, cand) {
+					assign[name] = cur
+					continue
+				}
+				bestA, bestCross = a, cross
+				cur = cand
+				improved = true
+			}
+			assign[name] = cur
+		}
+		if !improved {
+			break
+		}
+	}
+
+	// Rebuild the plan from the (possibly) improved assignment.
+	rebuilt, err := materializeAssignment(p.Graph, p.Topo, assign, rm)
+	if err != nil {
+		return err
+	}
+	p.Assignments = rebuilt.Assignments
+	p.Routes = rebuilt.Routes
+	return nil
+}
+
+func usedSwitches(assign map[string]network.SwitchID) []network.SwitchID {
+	seen := map[network.SwitchID]bool{}
+	for _, u := range assign {
+		seen[u] = true
+	}
+	out := make([]network.SwitchID, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// scoreAssignment computes (A_max, total cross bytes) for a raw
+// assignment without materializing stages.
+func scoreAssignment(p *Plan, assign map[string]network.SwitchID) (int, int) {
+	pair := map[RouteKey]int{}
+	total := 0
+	for _, e := range p.Graph.EdgeList() {
+		ua, ub := assign[e.From], assign[e.To]
+		if ua == ub {
+			continue
+		}
+		pair[RouteKey{From: ua, To: ub}] += e.MetadataBytes
+		total += e.MetadataBytes
+	}
+	max := 0
+	for _, b := range pair {
+		if b > max {
+			max = b
+		}
+	}
+	return max, total
+}
+
+// moveFeasible validates an assignment after a move that touched the
+// two given switches: both must still pack, and the contracted switch
+// graph must stay acyclic (with ε1 respected when set).
+func moveFeasible(p *Plan, assign map[string]network.SwitchID, opts Options, rm program.ResourceModel, touched ...network.SwitchID) bool {
+	bySwitch := map[network.SwitchID][]string{}
+	for name, u := range assign {
+		bySwitch[u] = append(bySwitch[u], name)
+	}
+	for _, u := range touched {
+		names := bySwitch[u]
+		if len(names) == 0 {
+			continue
+		}
+		sw, err := p.Topo.Switch(u)
+		if err != nil {
+			return false
+		}
+		if !FitsSwitch(p.Graph, names, sw, rm) {
+			return false
+		}
+	}
+	// Switch-order acyclicity over the whole assignment.
+	adj := map[network.SwitchID]map[network.SwitchID]bool{}
+	indeg := map[network.SwitchID]int{}
+	nodes := map[network.SwitchID]bool{}
+	for _, u := range assign {
+		nodes[u] = true
+	}
+	for _, e := range p.Graph.EdgeList() {
+		ua, ub := assign[e.From], assign[e.To]
+		if ua == ub {
+			continue
+		}
+		if adj[ua] == nil {
+			adj[ua] = map[network.SwitchID]bool{}
+		}
+		if !adj[ua][ub] {
+			adj[ua][ub] = true
+			indeg[ub]++
+		}
+	}
+	var ready []network.SwitchID
+	for u := range nodes {
+		if indeg[u] == 0 {
+			ready = append(ready, u)
+		}
+	}
+	count := 0
+	for len(ready) > 0 {
+		u := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		count++
+		for v := range adj[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready = append(ready, v)
+			}
+		}
+	}
+	if count != len(nodes) {
+		return false
+	}
+	// ε1 check on communicating pairs.
+	if opts.Epsilon1 > 0 {
+		var total time.Duration
+		seen := map[RouteKey]bool{}
+		for _, e := range p.Graph.EdgeList() {
+			ua, ub := assign[e.From], assign[e.To]
+			if ua == ub {
+				continue
+			}
+			key := RouteKey{From: ua, To: ub}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			sp, err := p.Topo.ShortestPath(ua, ub)
+			if err != nil {
+				return false
+			}
+			total += sp.Latency
+		}
+		if total > opts.Epsilon1 {
+			return false
+		}
+	}
+	return true
+}

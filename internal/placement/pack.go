@@ -1,0 +1,109 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hermes-net/hermes/internal/network"
+	"github.com/hermes-net/hermes/internal/program"
+	"github.com/hermes-net/hermes/internal/tdg"
+)
+
+// PackStages places the named MATs onto the pipeline stages of a single
+// switch. MATs are processed in topological order of the induced
+// subgraph; each MAT starts no earlier than one stage past the last
+// stage of any same-switch predecessor (Eq. 8, enforced for every
+// dependency type, matching the paper), and its requirement R(a) is
+// spread over stages without exceeding the per-stage capacity (Eq. 9).
+// A MAT may span non-consecutive stages when intermediate stages are
+// full; ρ_begin/ρ_end bracket the span.
+//
+// It returns the per-MAT placements, or an error when the switch cannot
+// host the set.
+func PackStages(g *tdg.Graph, names []string, sw *network.Switch, rm program.ResourceModel) (map[string]StagePlacement, error) {
+	if sw == nil {
+		return nil, fmt.Errorf("placement: pack on nil switch")
+	}
+	if !sw.Programmable {
+		return nil, fmt.Errorf("placement: switch %q is not programmable", sw.Name)
+	}
+	// Canonicalize the packing order: a subset of the parent's cached
+	// topological order is a topological order of the induced subgraph,
+	// so no subgraph needs to be built (this function dominates solver
+	// profiles otherwise).
+	pos, err := g.TopoIndex()
+	if err != nil {
+		return nil, fmt.Errorf("placement: %w", err)
+	}
+	ordered := append([]string(nil), names...)
+	for _, n := range ordered {
+		if _, ok := g.Node(n); !ok {
+			return nil, fmt.Errorf("placement: pack of unknown MAT %q", n)
+		}
+	}
+	sort.Slice(ordered, func(i, j int) bool { return pos[ordered[i]] < pos[ordered[j]] })
+
+	used := make([]float64, sw.Stages)
+	out := make(map[string]StagePlacement, len(ordered))
+	const tol = 1e-9
+
+	for _, name := range ordered {
+		node, _ := g.Node(name)
+		req := rm.Requirement(node.MAT)
+		earliest := 0
+		for _, e := range g.InEdgeList(name) {
+			if pred, ok := out[e.From]; ok && pred.End+1 > earliest {
+				earliest = pred.End + 1
+			}
+		}
+		if earliest >= sw.Stages {
+			return nil, fmt.Errorf("placement: MAT %q needs stage >= %d but switch %q has %d stages",
+				name, earliest, sw.Name, sw.Stages)
+		}
+		// Spread req across stages from earliest on.
+		var perStage []float64
+		start, end := -1, -1
+		rem := req
+		for s := earliest; s < sw.Stages && rem > tol; s++ {
+			avail := sw.StageCapacity - used[s]
+			if avail <= tol {
+				if start >= 0 {
+					perStage = append(perStage, 0)
+				}
+				continue
+			}
+			chunk := avail
+			if rem < chunk {
+				chunk = rem
+			}
+			if start < 0 {
+				start = s
+			}
+			end = s
+			perStage = append(perStage, chunk)
+			used[s] += chunk
+			rem -= chunk
+		}
+		if rem > tol {
+			return nil, fmt.Errorf("placement: MAT %q (R=%g) does not fit on switch %q from stage %d",
+				name, req, sw.Name, earliest)
+		}
+		// Trim trailing zero padding (from skipped-full stages after the
+		// last chunk).
+		perStage = perStage[:end-start+1]
+		out[name] = StagePlacement{Switch: sw.ID, Start: start, End: end, PerStage: perStage}
+	}
+	return out, nil
+}
+
+// FitsSwitch reports whether the named MATs can be packed on the switch
+// (a full packing attempt, not just the capacity sum of Alg. 2 line 2).
+func FitsSwitch(g *tdg.Graph, names []string, sw *network.Switch, rm program.ResourceModel) bool {
+	_, err := PackStages(g, names, sw, rm)
+	return err == nil
+}
+
+// CapacityFits is the cheap test of Alg. 2 line 2: ΣR(a) ≤ C_stage·C_res.
+func CapacityFits(g *tdg.Graph, rm program.ResourceModel, sw *network.Switch) bool {
+	return g.TotalRequirement(rm) <= sw.Capacity()+1e-9
+}

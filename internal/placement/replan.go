@@ -1,0 +1,72 @@
+package placement
+
+import (
+	"fmt"
+
+	"github.com/hermes-net/hermes/internal/network"
+)
+
+// Replan recomputes a deployment after programmable switches are
+// drained — taken out of MAT hosting for maintenance or after a
+// partial failure, while still forwarding transit traffic (full
+// node/link failures change the graph itself and belong to the routing
+// layer). It returns a fresh plan over the same TDG produced by the
+// given solver with the drained switches excluded.
+//
+// Replanning is stateless with respect to the old placement: stateful
+// MATs (counters) must be migrated by the operator; the data plane
+// simulator models state as per-MAT, so replaying traffic through the
+// new plan continues the same register state.
+func Replan(old *Plan, solver Solver, opts Options, drained ...network.SwitchID) (*Plan, error) {
+	if old == nil || old.Graph == nil || old.Topo == nil {
+		return nil, fmt.Errorf("placement: replan of nil or incomplete plan")
+	}
+	if solver == nil {
+		solver = Greedy{}
+	}
+	if len(drained) == 0 {
+		return nil, fmt.Errorf("placement: replan with no drained switches")
+	}
+	topo := old.Topo.Clone()
+	for _, id := range drained {
+		sw, err := topo.Switch(id)
+		if err != nil {
+			return nil, fmt.Errorf("placement: replan: %w", err)
+		}
+		if !sw.Programmable {
+			return nil, fmt.Errorf("placement: replan: switch %q is not programmable", sw.Name)
+		}
+		sw.Programmable = false
+		sw.Stages = 0
+		sw.StageCapacity = 0
+	}
+	if len(topo.ProgrammableSwitches()) == 0 {
+		return nil, fmt.Errorf("placement: replan drains every programmable switch")
+	}
+	plan, err := solver.Solve(old.Graph, topo, opts)
+	if err != nil {
+		return nil, fmt.Errorf("placement: replan: %w", err)
+	}
+	return plan, nil
+}
+
+// Diff reports how many MATs changed hosting switch between two plans
+// over the same TDG — the migration cost of a replan.
+func Diff(a, b *Plan) (moved int, err error) {
+	if a == nil || b == nil {
+		return 0, fmt.Errorf("placement: diff of nil plan")
+	}
+	if a.Graph.NumNodes() != b.Graph.NumNodes() {
+		return 0, fmt.Errorf("placement: diff across different TDGs")
+	}
+	for name := range a.Assignments {
+		sb, ok := b.Assignments[name]
+		if !ok {
+			return 0, fmt.Errorf("placement: plan B misses MAT %q", name)
+		}
+		if a.Assignments[name].Switch != sb.Switch {
+			moved++
+		}
+	}
+	return moved, nil
+}

@@ -1,0 +1,73 @@
+package placement
+
+import (
+	"time"
+
+	"github.com/hermes-net/hermes/internal/network"
+	"github.com/hermes-net/hermes/internal/program"
+	"github.com/hermes-net/hermes/internal/tdg"
+)
+
+// Options carries the ε-constraint bounds and solver knobs shared by
+// every deployment solver (Hermes and the baselines).
+type Options struct {
+	// Epsilon1 bounds t_e2e (Eq. 4); zero means unbounded (the paper's
+	// evaluation relaxes it).
+	Epsilon1 time.Duration
+	// Epsilon2 bounds Q_occ (Eq. 5); zero means unbounded.
+	Epsilon2 int
+	// Deadline caps solver runtime; zero means none. ILP-based solvers
+	// return their best incumbent at the deadline, mirroring the
+	// paper's two-hour Gurobi cap.
+	Deadline time.Time
+	// Resources is the MAT resource model; zero value means
+	// program.DefaultResourceModel.
+	Resources *program.ResourceModel
+}
+
+// resourceModel resolves the effective model.
+func (o Options) resourceModel() program.ResourceModel {
+	if o.Resources != nil {
+		return *o.Resources
+	}
+	return program.DefaultResourceModel
+}
+
+// epsilon2 resolves the effective occupied-switch bound given the
+// number of programmable switches available.
+func (o Options) epsilon2(available int) int {
+	if o.Epsilon2 <= 0 || o.Epsilon2 > available {
+		return available
+	}
+	return o.Epsilon2
+}
+
+// Solver deploys a merged TDG onto a network.
+type Solver interface {
+	// Name identifies the solver in reports ("Hermes", "FFL", ...).
+	Name() string
+	// Solve produces a deployment plan or an error when the instance
+	// cannot be deployed within the constraints.
+	Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Plan, error)
+}
+
+// AddRoutes fills in shortest-path routes for every communicating
+// switch pair of the plan's assignment; solvers (including baselines)
+// call it after fixing MAT placements.
+func AddRoutes(p *Plan) error {
+	return addRoutesForCrossPairs(p)
+}
+
+// addRoutesForCrossPairs fills in shortest-path routes for every
+// communicating switch pair of the assignment.
+func addRoutesForCrossPairs(p *Plan) error {
+	p.Routes = map[RouteKey]network.Path{}
+	for key := range p.PairBytes() {
+		path, err := p.Topo.ShortestPath(key.From, key.To)
+		if err != nil {
+			return err
+		}
+		p.Routes[key] = path
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package program
+
+import (
+	"fmt"
+
+	"github.com/hermes-net/hermes/internal/fields"
+)
+
+// Builder assembles a Program with a fluent API. It accumulates errors
+// and reports them at Build time so call sites stay linear.
+type Builder struct {
+	prog *Program
+	errs []error
+	cur  *MAT
+}
+
+// NewBuilder starts a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{prog: &Program{Name: name}}
+}
+
+// Table opens a new MAT with the given (unprefixed) name and rule
+// capacity. Subsequent Key/ActionDef calls attach to this MAT until the
+// next Table call. The MAT's full name is "<program>/<name>".
+func (b *Builder) Table(name string, capacity int) *Builder {
+	m := &MAT{Name: b.prog.Name + "/" + name, Capacity: capacity}
+	b.prog.MATs = append(b.prog.MATs, m)
+	b.cur = m
+	return b
+}
+
+// Key adds a match key to the current MAT.
+func (b *Builder) Key(f fields.Field, t MatchType) *Builder {
+	if b.cur == nil {
+		b.errs = append(b.errs, fmt.Errorf("Key(%s) before Table", f.Name))
+		return b
+	}
+	b.cur.Keys = append(b.cur.Keys, MatchKey{Field: f, Type: t})
+	return b
+}
+
+// ActionDef adds an action to the current MAT.
+func (b *Builder) ActionDef(name string, ops ...Op) *Builder {
+	if b.cur == nil {
+		b.errs = append(b.errs, fmt.Errorf("ActionDef(%q) before Table", name))
+		return b
+	}
+	b.cur.Actions = append(b.cur.Actions, Action{Name: name, Ops: ops})
+	return b
+}
+
+// Default marks the named action as the current MAT's default action.
+func (b *Builder) Default(action string) *Builder {
+	if b.cur == nil {
+		b.errs = append(b.errs, fmt.Errorf("Default(%q) before Table", action))
+		return b
+	}
+	b.cur.DefaultAction = action
+	return b
+}
+
+// Rule installs a rule into the current MAT.
+func (b *Builder) Rule(r Rule) *Builder {
+	if b.cur == nil {
+		b.errs = append(b.errs, fmt.Errorf("Rule before Table"))
+		return b
+	}
+	b.cur.Rules = append(b.cur.Rules, r)
+	return b
+}
+
+// Gate declares a control-flow edge: the result of MAT from gates MAT
+// to. Names are the unprefixed table names used with Table.
+func (b *Builder) Gate(from, to string) *Builder {
+	b.prog.Control = append(b.prog.Control, ControlEdge{
+		From: b.prog.Name + "/" + from,
+		To:   b.prog.Name + "/" + to,
+	})
+	return b
+}
+
+// Build validates and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("building program %q: %w", b.prog.Name, b.errs[0])
+	}
+	if err := b.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}
+
+// MustBuild is Build but panics on error; for static workload catalogs.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Convenience op constructors.
+
+// SetOp writes an immediate (or rule parameter) into dst.
+func SetOp(dst fields.Field, imm uint64) Op {
+	return Op{Kind: OpSet, Dst: dst, Imm: imm}
+}
+
+// CopyOp copies src into dst.
+func CopyOp(dst, src fields.Field) Op {
+	return Op{Kind: OpCopy, Dst: dst, Srcs: []fields.Field{src}}
+}
+
+// AddOp adds src (plus imm) into dst.
+func AddOp(dst, src fields.Field, imm uint64) Op {
+	return Op{Kind: OpAdd, Dst: dst, Srcs: []fields.Field{src}, Imm: imm}
+}
+
+// HashOp writes a hash of srcs into dst.
+func HashOp(dst fields.Field, srcs ...fields.Field) Op {
+	return Op{Kind: OpHash, Dst: dst, Srcs: srcs}
+}
+
+// CountOp increments a counter indexed by idx and stores the count in dst.
+func CountOp(dst, idx fields.Field) Op {
+	return Op{Kind: OpCount, Dst: dst, Srcs: []fields.Field{idx}}
+}
+
+// DecOp decrements dst by imm (default 1 when imm is 0).
+func DecOp(dst fields.Field, imm uint64) Op {
+	return Op{Kind: OpDecrement, Dst: dst, Imm: imm}
+}

@@ -1,0 +1,64 @@
+package program
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Bundle is the on-disk interchange format for program sets: what the
+// hermes CLI loads with -workload file:PATH and what integrations emit
+// when they translate P4 artifacts into this library's representation.
+type Bundle struct {
+	// Version guards format evolution; currently 1.
+	Version int `json:"version"`
+	// Programs is the workload.
+	Programs []*Program `json:"programs"`
+}
+
+// CurrentBundleVersion is the format version this library writes.
+const CurrentBundleVersion = 1
+
+// EncodeBundle serializes a program set.
+func EncodeBundle(progs []*Program) ([]byte, error) {
+	for i, p := range progs {
+		if p == nil {
+			return nil, fmt.Errorf("program: bundle entry %d is nil", i)
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("program: bundle entry %d: %w", i, err)
+		}
+	}
+	b, err := json.MarshalIndent(Bundle{Version: CurrentBundleVersion, Programs: progs}, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("program: encoding bundle: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeBundle parses and validates a program set.
+func DecodeBundle(data []byte) ([]*Program, error) {
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("program: decoding bundle: %w", err)
+	}
+	if b.Version != CurrentBundleVersion {
+		return nil, fmt.Errorf("program: unsupported bundle version %d (want %d)", b.Version, CurrentBundleVersion)
+	}
+	if len(b.Programs) == 0 {
+		return nil, fmt.Errorf("program: bundle holds no programs")
+	}
+	seen := make(map[string]bool, len(b.Programs))
+	for i, p := range b.Programs {
+		if p == nil {
+			return nil, fmt.Errorf("program: bundle entry %d is null", i)
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("program: bundle entry %d: %w", i, err)
+		}
+		if seen[p.Name] {
+			return nil, fmt.Errorf("program: bundle has duplicate program %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	return b.Programs, nil
+}

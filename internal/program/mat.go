@@ -1,0 +1,481 @@
+// Package program models data plane programs as collections of
+// match-action tables (MATs), mirroring §IV of the Hermes paper.
+//
+// Each MAT a carries the five properties the paper lists: the set F_a^m
+// of matching fields, the set A_a of actions, the set F_a^a of fields
+// modified by those actions, the rule set R_a, and the rule capacity
+// C_a. A Program is an ordered collection of MATs together with
+// explicitly declared control-flow (successor) edges; the remaining
+// dependency kinds are inferred from field read/write sets by the tdg
+// package.
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hermes-net/hermes/internal/fields"
+)
+
+// MatchType describes how a MAT matches a field.
+type MatchType int
+
+const (
+	// MatchExact matches the full field value.
+	MatchExact MatchType = iota + 1
+	// MatchLPM performs longest-prefix matching.
+	MatchLPM
+	// MatchTernary matches under a mask with rule priorities.
+	MatchTernary
+	// MatchRange matches a value range.
+	MatchRange
+)
+
+// String returns the P4-style name of the match type.
+func (m MatchType) String() string {
+	switch m {
+	case MatchExact:
+		return "exact"
+	case MatchLPM:
+		return "lpm"
+	case MatchTernary:
+		return "ternary"
+	case MatchRange:
+		return "range"
+	default:
+		return fmt.Sprintf("MatchType(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is a defined match type.
+func (m MatchType) Valid() bool {
+	return m >= MatchExact && m <= MatchRange
+}
+
+// MatchKey is a single (field, match type) pair in a MAT's match key.
+type MatchKey struct {
+	Field fields.Field `json:"field"`
+	Type  MatchType    `json:"type"`
+}
+
+// Validate checks the match key.
+func (k MatchKey) Validate() error {
+	if err := k.Field.Validate(); err != nil {
+		return fmt.Errorf("match key: %w", err)
+	}
+	if !k.Type.Valid() {
+		return fmt.Errorf("match key on %q: invalid match type %d", k.Field.Name, int(k.Type))
+	}
+	return nil
+}
+
+// OpKind is the kind of primitive operation an action performs.
+type OpKind int
+
+const (
+	// OpSet writes a constant or action parameter into the destination.
+	OpSet OpKind = iota + 1
+	// OpCopy copies the source field into the destination field.
+	OpCopy
+	// OpAdd adds the source field (or the immediate) to the destination.
+	OpAdd
+	// OpHash writes a hash of the source fields into the destination.
+	OpHash
+	// OpCount increments a counter indexed by the source field; the
+	// destination receives the resulting count.
+	OpCount
+	// OpDecrement decrements the destination (e.g. TTL).
+	OpDecrement
+)
+
+// String names the op kind.
+func (o OpKind) String() string {
+	switch o {
+	case OpSet:
+		return "set"
+	case OpCopy:
+		return "copy"
+	case OpAdd:
+		return "add"
+	case OpHash:
+		return "hash"
+	case OpCount:
+		return "count"
+	case OpDecrement:
+		return "dec"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(o))
+	}
+}
+
+// Valid reports whether o is a defined op kind.
+func (o OpKind) Valid() bool { return o >= OpSet && o <= OpDecrement }
+
+// Op is one primitive operation inside an action.
+type Op struct {
+	Kind OpKind `json:"kind"`
+	// Dst is the field written by the operation.
+	Dst fields.Field `json:"dst"`
+	// Srcs are the fields read by the operation (empty for OpSet with an
+	// immediate and for OpDecrement).
+	Srcs []fields.Field `json:"srcs,omitempty"`
+	// Imm is an immediate operand for OpSet/OpAdd.
+	Imm uint64 `json:"imm,omitempty"`
+}
+
+// Validate checks the operation.
+func (op Op) Validate() error {
+	if !op.Kind.Valid() {
+		return fmt.Errorf("op: invalid kind %d", int(op.Kind))
+	}
+	if err := op.Dst.Validate(); err != nil {
+		return fmt.Errorf("op %s dst: %w", op.Kind, err)
+	}
+	for _, s := range op.Srcs {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("op %s src: %w", op.Kind, err)
+		}
+	}
+	switch op.Kind {
+	case OpCopy, OpHash, OpCount:
+		if len(op.Srcs) == 0 {
+			return fmt.Errorf("op %s on %q: needs at least one source", op.Kind, op.Dst.Name)
+		}
+	}
+	return nil
+}
+
+// Action is a named sequence of primitive operations.
+type Action struct {
+	Name string `json:"name"`
+	Ops  []Op   `json:"ops"`
+}
+
+// Validate checks the action.
+func (a Action) Validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("action has empty name")
+	}
+	for i, op := range a.Ops {
+		if err := op.Validate(); err != nil {
+			return fmt.Errorf("action %q op %d: %w", a.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// Writes returns the set of fields the action modifies.
+func (a Action) Writes() (fields.Set, error) {
+	var fs []fields.Field
+	for _, op := range a.Ops {
+		fs = append(fs, op.Dst)
+	}
+	s, err := fields.NewSet(fs...)
+	if err != nil {
+		return fields.Set{}, fmt.Errorf("action %q: %w", a.Name, err)
+	}
+	return s, nil
+}
+
+// Reads returns the set of fields the action reads.
+func (a Action) Reads() (fields.Set, error) {
+	var fs []fields.Field
+	for _, op := range a.Ops {
+		fs = append(fs, op.Srcs...)
+		if op.Kind == OpAdd || op.Kind == OpDecrement || op.Kind == OpCount {
+			fs = append(fs, op.Dst) // read-modify-write
+		}
+	}
+	s, err := fields.NewSet(fs...)
+	if err != nil {
+		return fields.Set{}, fmt.Errorf("action %q: %w", a.Name, err)
+	}
+	return s, nil
+}
+
+// Rule is one user-installed entry of a MAT.
+type Rule struct {
+	// Priority orders ternary rules; higher wins.
+	Priority int `json:"priority"`
+	// Matches maps field name to the match pattern for that field. A
+	// field absent from the map is wildcarded.
+	Matches map[string]Pattern `json:"matches"`
+	// Action names the action to run on a hit.
+	Action string `json:"action"`
+	// Params are bound to OpSet immediates at execution time, keyed by
+	// destination field name.
+	Params map[string]uint64 `json:"params,omitempty"`
+}
+
+// Pattern matches a field value.
+type Pattern struct {
+	// Value is the match value.
+	Value uint64 `json:"value"`
+	// Mask selects which bits of Value are significant in ternary
+	// patterns; a zero mask is a full wildcard.
+	Mask uint64 `json:"mask,omitempty"`
+	// PrefixLen is used by LPM patterns.
+	PrefixLen int `json:"prefix_len,omitempty"`
+	// Lo and Hi bound range patterns inclusively.
+	Lo uint64 `json:"lo,omitempty"`
+	Hi uint64 `json:"hi,omitempty"`
+}
+
+// MAT is a match-action table.
+type MAT struct {
+	// Name uniquely identifies the MAT within a merged TDG. Program
+	// builders prefix it with the program name.
+	Name string `json:"name"`
+	// Keys is the match key (F_a^m with match types).
+	Keys []MatchKey `json:"keys"`
+	// Actions is the action set A_a.
+	Actions []Action `json:"actions"`
+	// Rules is the installed rule set R_a.
+	Rules []Rule `json:"rules,omitempty"`
+	// Capacity is C_a, the maximum number of rules.
+	Capacity int `json:"capacity"`
+	// DefaultAction names the action performed on a miss; empty means
+	// no-op on miss.
+	DefaultAction string `json:"default_action,omitempty"`
+	// FixedRequirement, when positive, overrides the computed resource
+	// requirement R(a) with a fixed normalized value. The synthetic
+	// workload generator uses it to reproduce the paper's setting of
+	// uniform 10-50% per-stage consumption per MAT.
+	FixedRequirement float64 `json:"fixed_requirement,omitempty"`
+}
+
+// MatchFields returns F_a^m, the set of fields matched by the MAT.
+func (m *MAT) MatchFields() (fields.Set, error) {
+	fs := make([]fields.Field, 0, len(m.Keys))
+	for _, k := range m.Keys {
+		fs = append(fs, k.Field)
+	}
+	s, err := fields.NewSet(fs...)
+	if err != nil {
+		return fields.Set{}, fmt.Errorf("MAT %q match fields: %w", m.Name, err)
+	}
+	return s, nil
+}
+
+// ModifiedFields returns F_a^a, the set of fields modified by any action
+// of the MAT.
+func (m *MAT) ModifiedFields() (fields.Set, error) {
+	out, err := fields.NewSet()
+	if err != nil {
+		return fields.Set{}, err
+	}
+	for _, a := range m.Actions {
+		w, err := a.Writes()
+		if err != nil {
+			return fields.Set{}, fmt.Errorf("MAT %q: %w", m.Name, err)
+		}
+		out, err = out.Union(w)
+		if err != nil {
+			return fields.Set{}, fmt.Errorf("MAT %q: %w", m.Name, err)
+		}
+	}
+	return out, nil
+}
+
+// ReadFields returns every field the MAT reads: the match key plus the
+// sources of its actions.
+func (m *MAT) ReadFields() (fields.Set, error) {
+	out, err := m.MatchFields()
+	if err != nil {
+		return fields.Set{}, err
+	}
+	for _, a := range m.Actions {
+		r, err := a.Reads()
+		if err != nil {
+			return fields.Set{}, fmt.Errorf("MAT %q: %w", m.Name, err)
+		}
+		out, err = out.Union(r)
+		if err != nil {
+			return fields.Set{}, fmt.Errorf("MAT %q: %w", m.Name, err)
+		}
+	}
+	return out, nil
+}
+
+// Action returns the named action.
+func (m *MAT) Action(name string) (Action, bool) {
+	for _, a := range m.Actions {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Action{}, false
+}
+
+// Validate checks the MAT for structural problems.
+func (m *MAT) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("MAT has empty name")
+	}
+	if m.Capacity <= 0 {
+		return fmt.Errorf("MAT %q: non-positive capacity %d", m.Name, m.Capacity)
+	}
+	seen := make(map[string]bool, len(m.Keys))
+	for _, k := range m.Keys {
+		if err := k.Validate(); err != nil {
+			return fmt.Errorf("MAT %q: %w", m.Name, err)
+		}
+		if seen[k.Field.Name] {
+			return fmt.Errorf("MAT %q: duplicate match key %q", m.Name, k.Field.Name)
+		}
+		seen[k.Field.Name] = true
+	}
+	if len(m.Actions) == 0 {
+		return fmt.Errorf("MAT %q: no actions", m.Name)
+	}
+	actionNames := make(map[string]bool, len(m.Actions))
+	for _, a := range m.Actions {
+		if err := a.Validate(); err != nil {
+			return fmt.Errorf("MAT %q: %w", m.Name, err)
+		}
+		if actionNames[a.Name] {
+			return fmt.Errorf("MAT %q: duplicate action %q", m.Name, a.Name)
+		}
+		actionNames[a.Name] = true
+	}
+	if m.DefaultAction != "" && !actionNames[m.DefaultAction] {
+		return fmt.Errorf("MAT %q: unknown default action %q", m.Name, m.DefaultAction)
+	}
+	if len(m.Rules) > m.Capacity {
+		return fmt.Errorf("MAT %q: %d rules exceed capacity %d", m.Name, len(m.Rules), m.Capacity)
+	}
+	for i, r := range m.Rules {
+		if !actionNames[r.Action] {
+			return fmt.Errorf("MAT %q rule %d: unknown action %q", m.Name, i, r.Action)
+		}
+		for fname := range r.Matches {
+			if !seen[fname] {
+				return fmt.Errorf("MAT %q rule %d: match on non-key field %q", m.Name, i, fname)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateRule checks one rule against the MAT's definition without
+// installing it: the action must exist, every matched field must be a
+// key, and set parameters must target fields the action writes.
+func (m *MAT) ValidateRule(r Rule) error {
+	act, ok := m.Action(r.Action)
+	if !ok {
+		return fmt.Errorf("MAT %q: rule references unknown action %q", m.Name, r.Action)
+	}
+	keys := make(map[string]bool, len(m.Keys))
+	for _, k := range m.Keys {
+		keys[k.Field.Name] = true
+	}
+	for fname := range r.Matches {
+		if !keys[fname] {
+			return fmt.Errorf("MAT %q: rule matches non-key field %q", m.Name, fname)
+		}
+	}
+	writes := make(map[string]bool, len(act.Ops))
+	for _, op := range act.Ops {
+		writes[op.Dst.Name] = true
+	}
+	for fname := range r.Params {
+		if !writes[fname] {
+			return fmt.Errorf("MAT %q: rule parameter for field %q that action %q never writes",
+				m.Name, fname, act.Name)
+		}
+	}
+	return nil
+}
+
+// Equivalent reports whether two MATs have identical properties apart
+// from their names: the same match keys, actions, capacity and rules.
+// SPEED's merger treats equivalent MATs as redundant (paper §IV).
+func (m *MAT) Equivalent(o *MAT) bool {
+	if m.Capacity != o.Capacity || len(m.Keys) != len(o.Keys) ||
+		len(m.Actions) != len(o.Actions) || len(m.Rules) != len(o.Rules) ||
+		m.DefaultAction != o.DefaultAction ||
+		m.FixedRequirement != o.FixedRequirement {
+		return false
+	}
+	mk := append([]MatchKey(nil), m.Keys...)
+	ok := append([]MatchKey(nil), o.Keys...)
+	sortKeys(mk)
+	sortKeys(ok)
+	for i := range mk {
+		if mk[i] != ok[i] {
+			return false
+		}
+	}
+	ma := append([]Action(nil), m.Actions...)
+	oa := append([]Action(nil), o.Actions...)
+	sortActions(ma)
+	sortActions(oa)
+	for i := range ma {
+		if !actionsEqual(ma[i], oa[i]) {
+			return false
+		}
+	}
+	// Rules are compared positionally: installed rule order matters for
+	// ternary priorities.
+	for i := range m.Rules {
+		if !rulesEqual(m.Rules[i], o.Rules[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func sortKeys(ks []MatchKey) {
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].Field.Name != ks[j].Field.Name {
+			return ks[i].Field.Name < ks[j].Field.Name
+		}
+		return ks[i].Type < ks[j].Type
+	})
+}
+
+func sortActions(as []Action) {
+	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
+}
+
+func actionsEqual(a, b Action) bool {
+	if a.Name != b.Name || len(a.Ops) != len(b.Ops) {
+		return false
+	}
+	for i := range a.Ops {
+		if !opsEqual(a.Ops[i], b.Ops[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func opsEqual(a, b Op) bool {
+	if a.Kind != b.Kind || a.Dst != b.Dst || a.Imm != b.Imm || len(a.Srcs) != len(b.Srcs) {
+		return false
+	}
+	for i := range a.Srcs {
+		if a.Srcs[i] != b.Srcs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func rulesEqual(a, b Rule) bool {
+	if a.Priority != b.Priority || a.Action != b.Action ||
+		len(a.Matches) != len(b.Matches) || len(a.Params) != len(b.Params) {
+		return false
+	}
+	for k, v := range a.Matches {
+		if b.Matches[k] != v {
+			return false
+		}
+	}
+	for k, v := range a.Params {
+		if b.Params[k] != v {
+			return false
+		}
+	}
+	return true
+}

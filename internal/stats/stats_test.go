@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 5},
+		{"several", []float64{1, 2, 3, 4}, 2.5},
+		{"negatives", []float64{-2, 2}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.xs); !almost(got, tt.want) {
+				t.Errorf("Mean = %g, want %g", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if got := Stddev(nil); got != 0 {
+		t.Errorf("Stddev(nil) = %g", got)
+	}
+	if got := Stddev([]float64{7}); got != 0 {
+		t.Errorf("Stddev(single) = %g", got)
+	}
+	// Known: {2,4,4,4,5,5,7,9} has sample stddev ~2.138.
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.13809) > 1e-4 {
+		t.Errorf("Stddev = %g, want ~2.138", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, tt := range []struct {
+		p    float64
+		want float64
+	}{{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {90, 4.6}} {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(got, tt.want) {
+			t.Errorf("P%g = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("empty percentile accepted")
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Error("negative percentile accepted")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("percentile > 100 accepted")
+	}
+	one, err := Percentile([]float64{42}, 99)
+	if err != nil || one != 42 {
+		t.Errorf("single-sample percentile = %g, %v", one, err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %g/%g", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty Min/Max not zero")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || !almost(s.Mean, 3) || !almost(s.P50, 3) || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Summary = %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Errorf("empty Summary = %+v", empty)
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	xs, err := Repeat(4, func(run int) (float64, error) { return float64(run), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 4 || xs[3] != 3 {
+		t.Errorf("Repeat = %v", xs)
+	}
+	sentinel := errors.New("boom")
+	if _, err := Repeat(3, func(run int) (float64, error) {
+		if run == 1 {
+			return 0, sentinel
+		}
+		return 0, nil
+	}); !errors.Is(err, sentinel) {
+		t.Errorf("Repeat error = %v, want wrapped sentinel", err)
+	}
+	if _, err := Repeat(0, func(int) (float64, error) { return 0, nil }); err == nil {
+		t.Error("zero count accepted")
+	}
+}
+
+// Property: the percentile function is monotone in p and bounded by
+// min/max.
+func TestPercentileMonotone(t *testing.T) {
+	prop := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, err1 := Percentile(raw, pa)
+		vb, err2 := Percentile(raw, pb)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		return va <= vb+1e-9 && va >= sorted[0]-1e-9 && vb <= sorted[len(sorted)-1]+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

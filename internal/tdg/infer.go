@@ -1,0 +1,94 @@
+package tdg
+
+import (
+	"fmt"
+
+	"github.com/hermes-net/hermes/internal/fields"
+	"github.com/hermes-net/hermes/internal/program"
+)
+
+// FromProgram converts a program into its TDG, inferring dependencies
+// between every pair of MATs from their field read/write sets following
+// the paper's T(a,b) definitions (§IV):
+//
+//	M — b reads (matches or uses as an action source) a field modified
+//	    by a (f ∈ F_a^a ∩ reads(b)),
+//	A — a and b modify a common field (f ∈ F_a^a ∩ F_b^a),
+//	R — a reads a field modified by b (f ∈ reads(a) ∩ F_b^a),
+//	S — an explicit control edge a→b without a stronger dependency.
+//
+// Pairs are oriented by declaration order: the earlier MAT is upstream.
+// Edge metadata sizes are left zero; the analyzer fills them in.
+//
+// The paper stands on P4C [41] for this step; this function plays that
+// role for our in-Go program representation.
+func FromProgram(p *program.Program) (*Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("tdg: %w", err)
+	}
+	g := New()
+	for _, m := range p.MATs {
+		if err := g.AddNode(m, p.Name); err != nil {
+			return nil, err
+		}
+	}
+
+	type sets struct {
+		// reads is the full read set: match keys plus action sources.
+		// Action-source reads induce match dependencies too — the value
+		// must reach the downstream MAT's switch just like a matched
+		// field (Jose et al. fold both into the match-dependency rule).
+		reads, modified fields.Set
+	}
+	cache := make(map[string]sets, len(p.MATs))
+	for _, m := range p.MATs {
+		rf, err := m.ReadFields()
+		if err != nil {
+			return nil, fmt.Errorf("tdg: %w", err)
+		}
+		wf, err := m.ModifiedFields()
+		if err != nil {
+			return nil, fmt.Errorf("tdg: %w", err)
+		}
+		cache[m.Name] = sets{reads: rf, modified: wf}
+	}
+
+	// Enumerate ordered pairs (a before b in declaration order), the
+	// same enumeration §I describes ("enumerates every pair of MATs").
+	for i := 0; i < len(p.MATs); i++ {
+		a := p.MATs[i]
+		sa := cache[a.Name]
+		for j := i + 1; j < len(p.MATs); j++ {
+			b := p.MATs[j]
+			sb := cache[b.Name]
+			switch {
+			case sa.modified.Overlaps(sb.reads):
+				if err := g.AddEdge(a.Name, b.Name, DepMatch, 0); err != nil {
+					return nil, err
+				}
+			case sa.modified.Overlaps(sb.modified):
+				if err := g.AddEdge(a.Name, b.Name, DepAction, 0); err != nil {
+					return nil, err
+				}
+			case sa.reads.Overlaps(sb.modified):
+				if err := g.AddEdge(a.Name, b.Name, DepReverse, 0); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Explicit control-flow edges become successor dependencies unless a
+	// stronger data dependency already connects the pair (AddEdge keeps
+	// the stronger type).
+	for _, e := range p.Control {
+		if err := g.AddEdge(e.From, e.To, DepSuccessor, 0); err != nil {
+			return nil, err
+		}
+	}
+
+	if !g.IsDAG() {
+		return nil, fmt.Errorf("tdg: program %q induces a cyclic TDG", p.Name)
+	}
+	return g, nil
+}

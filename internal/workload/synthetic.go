@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/hermes-net/hermes/internal/fields"
+	"github.com/hermes-net/hermes/internal/program"
+)
+
+// SyntheticSpec carries the paper's synthetic-program parameters
+// (§VI-A "Data plane programs"): per-MAT normalized per-stage resource
+// consumption uniform in [MinResource, MaxResource], MAT count uniform
+// in [MinMATs, MaxMATs], and a pairwise dependency probability.
+type SyntheticSpec struct {
+	MinMATs, MaxMATs         int
+	DependencyProbability    float64
+	MinResource, MaxResource float64
+	// MetadataSizes are the candidate byte widths of each MAT's output
+	// metadata field; sizes follow Table I's range.
+	MetadataSizes []int
+	// SharedPreamble prepends the common flow-key hash stage to every
+	// program. The paper motivates merging with exactly this redundancy
+	// ("various measurement algorithms need to invoke the same
+	// functionality of calculating indexes via hash functions", §IV);
+	// with it the merged TDG has genuine cross-program coupling instead
+	// of 50 disconnected islands.
+	SharedPreamble bool
+	// SharedHashProbability is the chance each MAT consumes one of the
+	// shared hash outputs.
+	SharedHashProbability float64
+}
+
+// PaperSyntheticSpec returns the published settings: 10-20 MATs, 30%
+// dependency probability, 10-50% per-stage resources.
+func PaperSyntheticSpec() SyntheticSpec {
+	return SyntheticSpec{
+		MinMATs:               10,
+		MaxMATs:               20,
+		DependencyProbability: 0.3,
+		MinResource:           0.1,
+		MaxResource:           0.5,
+		MetadataSizes:         []int{1, 2, 4, 6, 8, 12},
+		SharedPreamble:        true,
+		SharedHashProbability: 0.35,
+	}
+}
+
+// Validate checks the spec.
+func (s SyntheticSpec) Validate() error {
+	if s.MinMATs <= 0 || s.MaxMATs < s.MinMATs {
+		return fmt.Errorf("workload: bad MAT count range [%d,%d]", s.MinMATs, s.MaxMATs)
+	}
+	if s.DependencyProbability < 0 || s.DependencyProbability > 1 {
+		return fmt.Errorf("workload: bad dependency probability %g", s.DependencyProbability)
+	}
+	if s.MinResource <= 0 || s.MaxResource < s.MinResource {
+		return fmt.Errorf("workload: bad resource range [%g,%g]", s.MinResource, s.MaxResource)
+	}
+	if len(s.MetadataSizes) == 0 {
+		return fmt.Errorf("workload: no metadata sizes")
+	}
+	return nil
+}
+
+// Synthetic generates one synthetic program named name. MAT j matches
+// the output metadata of each earlier MAT i selected with the
+// dependency probability, producing exactly the sampled match
+// dependencies; every MAT writes one unique metadata field whose size
+// drives A(a,b).
+func Synthetic(name string, spec SyntheticSpec, rng *rand.Rand) (*program.Program, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n := spec.MinMATs + rng.Intn(spec.MaxMATs-spec.MinMATs+1)
+	b := program.NewBuilder(name)
+
+	hashFields := []fields.Field{
+		fields.CatalogField(fields.MetaHash0),
+		fields.CatalogField(fields.MetaHash1),
+		fields.CatalogField(fields.MetaHash2),
+	}
+	body := n
+	if spec.SharedPreamble {
+		// The common flow-key hash stage: identical in every program, so
+		// SPEED-style merging unifies all copies into one MAT.
+		src := fields.CatalogField(fields.IPv4Src)
+		dst := fields.CatalogField(fields.IPv4Dst)
+		b.Table("shared_hash", 1).
+			ActionDef("mix",
+				program.HashOp(hashFields[0], src, dst),
+				program.HashOp(hashFields[1], dst, src),
+				program.HashOp(hashFields[2], src, src)).
+			Default("mix")
+		body = n - 1
+	}
+
+	outFields := make([]fields.Field, body)
+	for i := 0; i < body; i++ {
+		size := spec.MetadataSizes[rng.Intn(len(spec.MetadataSizes))]
+		outFields[i] = fields.Metadata(fmt.Sprintf("meta.%s_t%d", name, i), size*8)
+	}
+	for j := 0; j < body; j++ {
+		b.Table(fmt.Sprintf("t%d", j), 1024)
+		for i := 0; i < j; i++ {
+			if rng.Float64() < spec.DependencyProbability {
+				b.Key(outFields[i], program.MatchExact)
+			}
+		}
+		if spec.SharedPreamble && rng.Float64() < spec.SharedHashProbability {
+			b.Key(hashFields[j%len(hashFields)], program.MatchExact)
+		}
+		// Always anchor matching on a header field so the MAT is a
+		// plausible table even with no sampled dependencies.
+		b.Key(fields.Header(fields.IPv4Src, 32), program.MatchExact)
+		b.ActionDef("produce", program.SetOp(outFields[j], uint64(j)))
+		b.Default("produce")
+	}
+	prog, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("workload: building %q: %w", name, err)
+	}
+	// Apply the paper's fixed per-stage resource consumption. The
+	// shared preamble keeps a deterministic cost so every copy stays
+	// structurally identical (a prerequisite for merge unification).
+	for _, m := range prog.MATs {
+		if spec.SharedPreamble && m.Name == name+"/shared_hash" {
+			m.FixedRequirement = spec.MinResource
+			continue
+		}
+		m.FixedRequirement = spec.MinResource + rng.Float64()*(spec.MaxResource-spec.MinResource)
+	}
+	return prog, nil
+}
+
+// SyntheticSet generates count synthetic programs deterministically
+// from the seed.
+func SyntheticSet(count int, spec SyntheticSpec, seed int64) ([]*program.Program, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("workload: negative count %d", count)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*program.Program, 0, count)
+	for i := 0; i < count; i++ {
+		p, err := Synthetic(fmt.Sprintf("syn%02d", i), spec, rng)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// EvaluationPrograms returns the paper's Exp#2 workload: the ten real
+// programs plus enough synthetic ones to reach total (the paper uses
+// 50).
+func EvaluationPrograms(total int, seed int64) ([]*program.Program, error) {
+	real := RealPrograms()
+	if total <= len(real) {
+		return real[:total], nil
+	}
+	syn, err := SyntheticSet(total-len(real), PaperSyntheticSpec(), seed)
+	if err != nil {
+		return nil, err
+	}
+	return append(real, syn...), nil
+}
+
+// Sketch builds one SDM sketch program with the given number of hash
+// rows. All sketches share identical hash MATs (same fields, same
+// actions), which is precisely the redundancy SPEED-style merging
+// eliminates — the Exp#6 scenario.
+func Sketch(name string, rows int) (*program.Program, error) {
+	if rows < 1 || rows > 3 {
+		return nil, fmt.Errorf("workload: sketch rows must be 1..3, got %d", rows)
+	}
+	hashFields := []fields.Field{
+		fields.CatalogField(fields.MetaHash0),
+		fields.CatalogField(fields.MetaHash1),
+		fields.CatalogField(fields.MetaHash2),
+	}
+	src := fields.CatalogField(fields.IPv4Src)
+	dst := fields.CatalogField(fields.IPv4Dst)
+
+	b := program.NewBuilder(name)
+	// The shared hash stage: identical across all sketches.
+	b.Table("shared_hash", 1).
+		ActionDef("mix",
+			program.HashOp(hashFields[0], src, dst),
+			program.HashOp(hashFields[1], dst, src),
+			program.HashOp(hashFields[2], src, src)).
+		Default("mix")
+	for r := 0; r < rows; r++ {
+		cnt := fields.Metadata(fmt.Sprintf("meta.%s_cnt%d", name, r), 32)
+		b.Table(fmt.Sprintf("row%d", r), 32768).
+			Key(hashFields[r], program.MatchExact).
+			ActionDef("bump", program.CountOp(cnt, hashFields[r])).
+			Default("bump")
+	}
+	return b.Build()
+}
+
+// SketchSet builds count sketches with 1-3 rows each (deterministic in
+// seed), the Exp#6 workload of ten concurrent sketches.
+func SketchSet(count int, seed int64) ([]*program.Program, error) {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*program.Program, 0, count)
+	for i := 0; i < count; i++ {
+		p, err := Sketch(fmt.Sprintf("sketch%02d", i), 1+rng.Intn(3))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
