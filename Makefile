@@ -1,0 +1,31 @@
+# Pre-merge check: run `make check` before sending a change. It is the
+# union of everything CI would need: vet, build, the full test suite
+# under the race detector (the placement engine is concurrent — racy
+# code must not land), and a one-shot smoke run of the parallel
+# speedup benchmark to prove the worker plumbing still functions.
+
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench
+
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -run xxx -bench ParallelSpeedup -benchtime 1x .
+
+# Full benchmark sweep (minutes; the Exp* benchmarks regenerate the
+# paper's figures).
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -20,6 +20,7 @@
 package hermes_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -31,11 +32,15 @@ import (
 	"github.com/hermes-net/hermes/internal/workload"
 )
 
-// benchConfig keeps the in-tree benchmarks laptop-sized.
+// benchConfig keeps the in-tree benchmarks laptop-sized. Workers is
+// pinned above GOMAXPROCS so the experiment sweeps overlap their
+// deadline-capped solver cells even on single-core runners; the rows
+// are identical either way.
 func benchConfig() experiments.Config {
 	cfg := experiments.DefaultConfig()
 	cfg.IncludeILPFrameworks = false
 	cfg.SolverDeadline = time.Second
+	cfg.Workers = 8
 	return cfg
 }
 
@@ -248,6 +253,35 @@ func BenchmarkGreedySmall(b *testing.B) {
 		if _, err := (placement.Greedy{}).Solve(merged, topo, placement.Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelSpeedup measures the greedy solver at increasing
+// worker counts on a mid-size WAN instance. Every worker count
+// produces the identical plan; only wall-clock changes, so the ratio
+// of the workers=1 and workers=N lines is the solver's parallel
+// speedup on this machine.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	progs, err := workload.EvaluationPrograms(30, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	merged, err := hermes.Analyze(progs, hermes.AnalyzeOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, err := network.TableIII(5, network.TofinoSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (placement.Greedy{}).Solve(merged, topo, placement.Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

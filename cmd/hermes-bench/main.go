@@ -40,6 +40,7 @@ func run(args []string) error {
 	deadline := fs.Duration("deadline", 3*time.Second, "per-instance solver deadline for exact/ILP solvers")
 	ilp := fs.Bool("ilp", true, "run the genuinely ILP-backed comparison frameworks")
 	seed := fs.Int64("seed", 1, "workload seed")
+	workers := fs.Int("workers", 0, "concurrent experiment cells and solver parallelism (0 = GOMAXPROCS)")
 	csvDir := fs.String("csv", "", "also write CSV files into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,6 +50,7 @@ func run(args []string) error {
 	cfg.Seed = *seed
 	cfg.SolverDeadline = *deadline
 	cfg.IncludeILPFrameworks = *ilp
+	cfg.Workers = *workers
 
 	runner := &runner{cfg: cfg, programs: *programs, csvDir: *csvDir}
 	todo := strings.Split(*exp, ",")

@@ -56,6 +56,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "workload/topology seed")
 	capacity := fs.Float64("stage-capacity", 0, "override per-stage capacity (0 = spec default)")
 	deadline := fs.Duration("deadline", 30*time.Second, "solver deadline for exact/ILP solvers")
+	workers := fs.Int("workers", 0, "solver parallelism (0 = GOMAXPROCS); the plan is identical for every value")
 	jsonOut := fs.Bool("json", false, "emit the plan as JSON")
 	emitBundle := fs.String("emit-bundle", "", "write the resolved workload as a JSON bundle to this path and exit")
 	verify := fs.Bool("verify", false, "drive packets through the deployment and check equivalence")
@@ -98,6 +99,7 @@ func run(args []string) error {
 			Epsilon1:       *eps1,
 			Epsilon2:       *eps2,
 			SolverDeadline: *deadline,
+			Workers:        *workers,
 		})
 		if err != nil {
 			fmt.Printf("%-8s failed: %v\n", solver.Name(), err)

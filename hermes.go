@@ -190,6 +190,10 @@ type DeployOptions struct {
 	// SolverDeadline caps exact/ILP solver runtime (0 = none); such
 	// solvers return their best incumbent at the deadline.
 	SolverDeadline time.Duration
+	// Workers bounds the solver's internal parallelism (candidate
+	// scoring, branch search). Zero or negative means GOMAXPROCS; every
+	// worker count produces the same plan.
+	Workers int
 	// Analyze tunes the program analysis step.
 	Analyze AnalyzeOptions
 }
@@ -217,6 +221,7 @@ func Deploy(progs []*Program, topo *Topology, opts DeployOptions) (*Result, erro
 	popts := placement.Options{
 		Epsilon1: opts.Epsilon1,
 		Epsilon2: opts.Epsilon2,
+		Workers:  opts.Workers,
 	}
 	if opts.SolverDeadline > 0 {
 		popts.Deadline = time.Now().Add(opts.SolverDeadline)

@@ -289,17 +289,8 @@ func segmented(g *tdg.Graph, topo *network.Topology, opts placement.Options, nam
 		if len(cands) < len(segments) {
 			continue
 		}
-		var lat time.Duration
-		feasible := true
-		for i := 0; i+1 < len(segments); i++ {
-			p, err := topo.ShortestPath(cands[i], cands[i+1])
-			if err != nil {
-				feasible = false
-				break
-			}
-			lat += p.Latency
-		}
-		if !feasible {
+		lat, err := topo.ChainLatency(cands[:len(segments)])
+		if err != nil {
 			continue
 		}
 		if best == nil || lat < best.lat {

@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
 
 	"github.com/hermes-net/hermes/internal/analyzer"
 	"github.com/hermes-net/hermes/internal/baseline"
@@ -28,25 +30,67 @@ type Fig2Point struct {
 }
 
 // Figure2 sweeps the per-packet overhead for the paper's three packet
-// sizes.
+// sizes. The (size, overhead) grid evaluates concurrently; the
+// returned points keep the serial order (sizes outer, overheads
+// inner).
 func Figure2() ([]Fig2Point, error) {
-	var out []Fig2Point
-	for _, size := range e2esim.Figure2PacketSizes() {
-		cfg := e2esim.DefaultDCN(size)
-		for _, h := range e2esim.Figure2Overheads() {
-			imp, err := cfg.ImpactOf(h)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: figure 2: %w", err)
-			}
-			out = append(out, Fig2Point{
-				PacketBytes:     size,
-				OverheadBytes:   h,
-				FCTIncrease:     imp.FCTIncrease,
-				GoodputDecrease: imp.GoodputDecrease,
-			})
+	sizes := e2esim.Figure2PacketSizes()
+	overheads := e2esim.Figure2Overheads()
+	out := make([]Fig2Point, len(sizes)*len(overheads))
+	errs := make([]error, len(out))
+	runParallel(len(out), runtime.GOMAXPROCS(0), func(i int) {
+		size := sizes[i/len(overheads)]
+		h := overheads[i%len(overheads)]
+		imp, err := e2esim.DefaultDCN(size).ImpactOf(h)
+		if err != nil {
+			errs[i] = fmt.Errorf("experiments: figure 2: %w", err)
+			return
 		}
+		out[i] = Fig2Point{
+			PacketBytes:     size,
+			OverheadBytes:   h,
+			FCTIncrease:     imp.FCTIncrease,
+			GoodputDecrease: imp.GoodputDecrease,
+		}
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// runGrid evaluates the (row × solver) cell grid concurrently and
+// returns per-row result slices in row order. Cells are claimed
+// work-stealing style so one slow ILP cell does not serialize a whole
+// row behind it. When cells run concurrently each solver runs with
+// Workers=1 — the outer level already saturates the machine, and
+// nesting would multiply goroutines and starve the wall-clock-budgeted
+// solvers; with a single worker the full budget flows to the solver
+// instead.
+func runGrid(insts []*instance, specs []solverSpec, cfg Config) [][]SolverResult {
+	cellCfg := cfg
+	if cfg.workers() > 1 {
+		cellCfg.Workers = 1
+	}
+	results := make([][]SolverResult, len(insts))
+	for i := range results {
+		results[i] = make([]SolverResult, len(specs))
+	}
+	// Claim deadline-capped (ILP-backed) cells first: they are anytime
+	// searches pinned to a wall-clock cap, so overlapping them costs
+	// nothing and hides their waits behind the heuristic cells.
+	order := make([]int, len(insts)*len(specs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return specs[order[a]%len(specs)].ilpBacked && !specs[order[b]%len(specs)].ilpBacked
+	})
+	runParallel(len(order), cfg.workers(), func(c int) {
+		i, j := order[c]/len(specs), order[c]%len(specs)
+		results[i][j] = runSolver(specs[j], insts[i], cellCfg)
+	})
+	return results
 }
 
 // --- Exp#1: testbed (Figure 5) ---
@@ -67,23 +111,31 @@ func testbedTopology(cfg Config) (*network.Topology, error) {
 }
 
 // Exp1 deploys 2..10 real programs on the testbed with every solver.
+// Instance analysis and the (program count × solver) cells run
+// concurrently under cfg.Workers; rows come back in program-count
+// order.
 func Exp1(cfg Config) ([]Exp1Row, error) {
 	topo, err := testbedTopology(cfg)
 	if err != nil {
 		return nil, err
 	}
 	real := workload.RealPrograms()
-	var rows []Exp1Row
+	var counts []int
 	for n := 2; n <= len(real); n += 2 {
-		inst, err := buildInstance(real[:n], topo)
-		if err != nil {
-			return nil, err
-		}
-		row := Exp1Row{Programs: n}
-		for _, spec := range solverSpecs(cfg) {
-			row.Results = append(row.Results, runSolver(spec, inst, cfg))
-		}
-		rows = append(rows, row)
+		counts = append(counts, n)
+	}
+	insts := make([]*instance, len(counts))
+	errs := make([]error, len(counts))
+	runParallel(len(counts), cfg.workers(), func(i int) {
+		insts[i], errs[i] = buildInstance(real[:counts[i]], topo)
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	results := runGrid(insts, solverSpecs(cfg), cfg)
+	rows := make([]Exp1Row, len(counts))
+	for i, n := range counts {
+		rows[i] = Exp1Row{Programs: n, Results: results[i]}
 	}
 	return rows, nil
 }
@@ -100,31 +152,44 @@ type TopoRow struct {
 }
 
 // Exp2 deploys `programs` concurrent programs (the paper uses 50) on
-// each of the ten Table III topologies.
+// each of the ten Table III topologies. Topology construction and the
+// (topology × solver) cells run concurrently under cfg.Workers; rows
+// come back in topology order.
 func Exp2(cfg Config, programs int) ([]TopoRow, error) {
 	progs, err := workload.EvaluationPrograms(programs, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	var rows []TopoRow
-	for i := 1; i <= network.NumTableIII(); i++ {
-		topo, err := network.TableIII(i, network.TofinoSpec())
+	nRows := network.NumTableIII()
+	rows := make([]TopoRow, nRows)
+	insts := make([]*instance, nRows)
+	errs := make([]error, nRows)
+	runParallel(nRows, cfg.workers(), func(i int) {
+		topoIdx := i + 1
+		topo, err := network.TableIII(topoIdx, network.TofinoSpec())
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		inst, err := buildInstance(progs, topo)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
-		nodes, edges, err := network.TableIIISize(i)
+		nodes, edges, err := network.TableIIISize(topoIdx)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
-		row := TopoRow{Topology: i, Nodes: nodes, Edges: edges}
-		for _, spec := range solverSpecs(cfg) {
-			row.Results = append(row.Results, runSolver(spec, inst, cfg))
-		}
-		rows = append(rows, row)
+		insts[i] = inst
+		rows[i] = TopoRow{Topology: topoIdx, Nodes: nodes, Edges: edges}
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	results := runGrid(insts, solverSpecs(cfg), cfg)
+	for i := range rows {
+		rows[i].Results = results[i]
 	}
 	return rows, nil
 }
@@ -138,27 +203,35 @@ type ScaleRow struct {
 }
 
 // Exp5 varies the number of concurrent programs from 10 to 50 on the
-// tenth topology.
+// tenth topology. Workload analysis and the (program count × solver)
+// cells run concurrently under cfg.Workers; rows come back in
+// program-count order.
 func Exp5(cfg Config) ([]ScaleRow, error) {
 	topo, err := network.TableIII(10, network.TofinoSpec())
 	if err != nil {
 		return nil, err
 	}
-	var rows []ScaleRow
+	var counts []int
 	for n := 10; n <= 50; n += 10 {
-		progs, err := workload.EvaluationPrograms(n, cfg.Seed)
+		counts = append(counts, n)
+	}
+	insts := make([]*instance, len(counts))
+	errs := make([]error, len(counts))
+	runParallel(len(counts), cfg.workers(), func(i int) {
+		progs, err := workload.EvaluationPrograms(counts[i], cfg.Seed)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
-		inst, err := buildInstance(progs, topo)
-		if err != nil {
-			return nil, err
-		}
-		row := ScaleRow{Programs: n}
-		for _, spec := range solverSpecs(cfg) {
-			row.Results = append(row.Results, runSolver(spec, inst, cfg))
-		}
-		rows = append(rows, row)
+		insts[i], errs[i] = buildInstance(progs, topo)
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	results := runGrid(insts, solverSpecs(cfg), cfg)
+	rows := make([]ScaleRow, len(counts))
+	for i, n := range counts {
+		rows[i] = ScaleRow{Programs: n, Results: results[i]}
 	}
 	return rows, nil
 }

@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"github.com/hermes-net/hermes/internal/analyzer"
@@ -43,6 +44,23 @@ type Config struct {
 	// PacketBytes is the packet size for end-to-end impact (the paper
 	// uses 1024-byte packets in Exp#4).
 	PacketBytes int
+	// Workers bounds the number of concurrently evaluated experiment
+	// cells (one solver on one instance). With a single worker the
+	// value is forwarded to the solver's internal parallelism instead;
+	// concurrent cells run their solvers serially so the two levels
+	// never multiply. Zero or negative means GOMAXPROCS. Every worker
+	// count yields the same rows in the same order; the ExecTime
+	// fields (and the incumbents of deadline-capped ILP cells) are
+	// timing-dependent, exactly as under the paper's wall-clock caps.
+	Workers int
+}
+
+// workers resolves the effective worker count.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultConfig returns the settings used throughout EXPERIMENTS.md.
@@ -213,7 +231,7 @@ func runSolver(spec solverSpec, inst *instance, cfg Config) SolverResult {
 	if spec.useMerged {
 		g = inst.merged
 	}
-	opts := placement.Options{}
+	opts := placement.Options{Workers: cfg.Workers}
 	if spec.ilpBacked && cfg.SolverDeadline > 0 {
 		opts.Deadline = time.Now().Add(cfg.SolverDeadline)
 	}
@@ -238,7 +256,7 @@ func runSolver(spec solverSpec, inst *instance, cfg Config) SolverResult {
 	elapsed := time.Since(start)
 
 	if err != nil && spec.fallback != nil {
-		plan, err = spec.fallback(g, inst.topo, placement.Options{})
+		plan, err = spec.fallback(g, inst.topo, placement.Options{Workers: cfg.Workers})
 		capped = true
 	}
 	if err != nil {

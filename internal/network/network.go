@@ -75,7 +75,13 @@ type Topology struct {
 	links    []Link
 	// adj[id] lists (neighbor, link index).
 	adj [][]adjEntry
+	// cache memoizes shortest-path queries (see oracle.go). It is
+	// invalidated on mutation and never shared between topologies.
+	cache *pathCache
 }
+
+// infDist marks an unreachable node in Dijkstra distance arrays.
+const infDist = int64(math.MaxInt64)
 
 type adjEntry struct {
 	to   SwitchID
@@ -86,7 +92,7 @@ type adjEntry struct {
 
 // NewTopology creates an empty topology.
 func NewTopology(name string) *Topology {
-	return &Topology{Name: name}
+	return &Topology{Name: name, cache: newPathCache()}
 }
 
 // AddSwitch appends a switch and returns its ID.
@@ -99,6 +105,7 @@ func (t *Topology) AddSwitch(s Switch) SwitchID {
 	sw := s
 	t.switches = append(t.switches, &sw)
 	t.adj = append(t.adj, nil)
+	t.cache.invalidate()
 	return id
 }
 
@@ -123,6 +130,7 @@ func (t *Topology) AddLink(a, b SwitchID, latency time.Duration) error {
 	t.links = append(t.links, Link{A: a, B: b, Latency: latency})
 	t.adj[a] = append(t.adj[a], adjEntry{to: b, link: idx})
 	t.adj[b] = append(t.adj[b], adjEntry{to: a, link: idx})
+	t.cache.invalidate()
 	return nil
 }
 
@@ -268,12 +276,14 @@ func (t *Topology) pathLatency(seq []SwitchID) (time.Duration, error) {
 
 // ShortestPath returns the minimum-latency simple path from src to dst
 // using Dijkstra over link+switch latencies. It fails if no path
-// exists.
+// exists. Results are served from the path oracle's per-source Dijkstra
+// tree (oracle.go), so repeated queries from the same source cost only
+// the path reconstruction.
 func (t *Topology) ShortestPath(src, dst SwitchID) (Path, error) {
 	if !t.valid(src) || !t.valid(dst) {
 		return Path{}, fmt.Errorf("network: shortest path %d->%d references unknown switch", src, dst)
 	}
-	return t.shortestPathAvoiding(src, dst, nil, nil)
+	return t.ssspFrom(src).pathTo(src, dst)
 }
 
 // shortestPathAvoiding runs Dijkstra excluding the given switches and
@@ -345,6 +355,10 @@ func (t *Topology) shortestPathAvoiding(src, dst SwitchID, bannedSw map[SwitchID
 // KShortestPaths returns up to k loopless shortest paths from src to
 // dst in increasing latency order (Yen's algorithm). This materializes
 // the path set P(u,v) used by the MILP formulation.
+//
+// Yen's output is prefix-stable in k, so the oracle caches the longest
+// list computed per (src, dst) and serves any smaller k as a prefix; an
+// exhausted entry (no further loopless paths exist) answers every k.
 func (t *Topology) KShortestPaths(src, dst SwitchID, k int) ([]Path, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("network: k must be positive, got %d", k)
@@ -356,9 +370,42 @@ func (t *Topology) KShortestPaths(src, dst SwitchID, k int) ([]Path, error) {
 		}
 		return []Path{{Switches: []SwitchID{src}, Latency: sw.TransitLatency}}, nil
 	}
-	first, err := t.ShortestPath(src, dst)
+	key := [2]SwitchID{src, dst}
+	c := t.cache
+	if c != nil {
+		c.mu.RLock()
+		ent, ok := c.ksp[key]
+		c.mu.RUnlock()
+		if ok && (ent.exhausted || len(ent.paths) >= k) {
+			c.hits.Add(1)
+			got := ent.paths
+			if len(got) > k {
+				got = got[:k]
+			}
+			return clonePaths(got), nil
+		}
+		c.misses.Add(1)
+	}
+	paths, exhausted, err := t.yenKShortest(src, dst, k)
 	if err != nil {
 		return nil, err
+	}
+	if c != nil {
+		c.mu.Lock()
+		if prior, ok := c.ksp[key]; !ok || len(paths) > len(prior.paths) || (exhausted && !prior.exhausted) {
+			c.ksp[key] = &kspEntry{paths: clonePaths(paths), exhausted: exhausted}
+		}
+		c.mu.Unlock()
+	}
+	return paths, nil
+}
+
+// yenKShortest is the uncached Yen loop. exhausted reports that the
+// loop drained every loopless candidate before reaching k paths.
+func (t *Topology) yenKShortest(src, dst SwitchID, k int) (_ []Path, exhausted bool, _ error) {
+	first, err := t.ShortestPath(src, dst)
+	if err != nil {
+		return nil, false, err
 	}
 	paths := []Path{first}
 	var candidates []Path
@@ -398,13 +445,14 @@ func (t *Topology) KShortestPaths(src, dst SwitchID, k int) ([]Path, error) {
 			}
 		}
 		if len(candidates) == 0 {
+			exhausted = true
 			break
 		}
 		sort.Slice(candidates, func(i, j int) bool { return candidates[i].Latency < candidates[j].Latency })
 		paths = append(paths, candidates[0])
 		candidates = candidates[1:]
 	}
-	return paths, nil
+	return paths, exhausted, nil
 }
 
 func (t *Topology) linkIndex(a, b SwitchID) (int, bool) {
@@ -458,36 +506,18 @@ func (t *Topology) NearestProgrammable(src SwitchID, limit int, maxLatency time.
 	if !t.valid(src) {
 		return nil, fmt.Errorf("network: unknown switch %d", src)
 	}
-	type cand struct {
-		id  SwitchID
-		lat time.Duration
-	}
-	var cands []cand
-	for _, s := range t.switches {
-		if !s.Programmable || s.ID == src {
+	// The oracle caches the full (latency, id)-sorted candidate list per
+	// source; the maxLatency filter and limit are applied per query.
+	cands := t.programmableByLatency(src)
+	out := make([]SwitchID, 0, len(cands))
+	for _, c := range cands {
+		if maxLatency > 0 && c.lat > maxLatency {
 			continue
 		}
-		p, err := t.ShortestPath(src, s.ID)
-		if err != nil {
-			continue // unreachable
-		}
-		if maxLatency > 0 && p.Latency > maxLatency {
-			continue
-		}
-		cands = append(cands, cand{id: s.ID, lat: p.Latency})
+		out = append(out, c.id)
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].lat != cands[j].lat {
-			return cands[i].lat < cands[j].lat
-		}
-		return cands[i].id < cands[j].id
-	})
-	if limit >= 0 && len(cands) > limit {
-		cands = cands[:limit]
-	}
-	out := make([]SwitchID, len(cands))
-	for i, c := range cands {
-		out[i] = c.id
+	if limit >= 0 && len(out) > limit {
+		out = out[:limit]
 	}
 	return out, nil
 }

@@ -1,0 +1,292 @@
+// Path oracle: a concurrency-safe memoization layer over the
+// topology's shortest-path machinery. Every solver in placement,
+// baseline, and experiments hammers the same handful of queries —
+// ShortestPath between communicating pairs, KShortestPaths for route
+// spreading, NearestProgrammable for Alg. 2's SELECT_SWITCHES — and
+// recomputing Dijkstra/Yen from scratch at every call site dominates
+// solve profiles. The oracle caches:
+//
+//   - one full single-source Dijkstra tree per source switch, serving
+//     every ShortestPath(src, ·) query by O(path) reconstruction;
+//   - Yen's k-shortest lists per (src, dst), served as prefixes for any
+//     smaller k (Yen's output is prefix-stable in k);
+//   - the latency-sorted programmable-candidate list per source,
+//     filtered per query by maxLatency/limit.
+//
+// Cached answers are bit-for-bit identical to the uncached ones: the
+// SSSP tree runs the same O(V²) Dijkstra with the same scan order and
+// strict-improvement relaxation, so reconstructed paths match the
+// early-exit per-pair variant exactly (see TestOracleMatchesUncached).
+//
+// The cache is guarded by an RWMutex, invalidated wholesale on
+// AddSwitch/AddLink, and never shared across Clone — a clone starts
+// cold. Returned paths are fresh copies; callers may keep or mutate
+// them freely.
+package network
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CacheStats reports path-oracle effectiveness counters.
+type CacheStats struct {
+	// Hits and Misses count memoized-query lookups (SSSP trees, k-path
+	// lists, and programmable-candidate lists combined).
+	Hits, Misses uint64
+	// Invalidations counts wholesale cache flushes caused by topology
+	// mutation (AddSwitch / AddLink).
+	Invalidations uint64
+}
+
+// ssspTree is one source's full Dijkstra tree: dist[v] is the t_p
+// latency of the shortest src→v path (infDist when unreachable), and
+// prev[v] its predecessor.
+type ssspTree struct {
+	dist []int64
+	prev []SwitchID
+}
+
+// kspEntry caches Yen's algorithm output for one ordered pair.
+// exhausted marks that no further loopless paths exist beyond paths,
+// so the entry answers arbitrarily large k.
+type kspEntry struct {
+	paths     []Path
+	exhausted bool
+}
+
+// progCand is one programmable switch at its shortest-path latency
+// from a cached source.
+type progCand struct {
+	id  SwitchID
+	lat time.Duration
+}
+
+// pathCache is the oracle's storage. All three maps are guarded by mu;
+// the counters are atomic so read-path hits stay contention-free.
+type pathCache struct {
+	mu   sync.RWMutex
+	sssp map[SwitchID]*ssspTree
+	ksp  map[[2]SwitchID]*kspEntry
+	near map[SwitchID][]progCand
+
+	hits, misses, invalidations atomic.Uint64
+}
+
+func newPathCache() *pathCache {
+	return &pathCache{
+		sssp: map[SwitchID]*ssspTree{},
+		ksp:  map[[2]SwitchID]*kspEntry{},
+		near: map[SwitchID][]progCand{},
+	}
+}
+
+// invalidate drops every memoized result; called whenever the graph
+// changes shape.
+func (c *pathCache) invalidate() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.sssp = map[SwitchID]*ssspTree{}
+	c.ksp = map[[2]SwitchID]*kspEntry{}
+	c.near = map[SwitchID][]progCand{}
+	c.mu.Unlock()
+	c.invalidations.Add(1)
+}
+
+// PathCacheStats returns the oracle's hit/miss/invalidation counters.
+func (t *Topology) PathCacheStats() CacheStats {
+	if t.cache == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Hits:          t.cache.hits.Load(),
+		Misses:        t.cache.misses.Load(),
+		Invalidations: t.cache.invalidations.Load(),
+	}
+}
+
+// ssspFrom returns the (possibly cached) full Dijkstra tree rooted at
+// src. Concurrent callers may compute the tree redundantly on a cold
+// cache; the first stored copy wins, and all copies are identical.
+func (t *Topology) ssspFrom(src SwitchID) *ssspTree {
+	c := t.cache
+	if c == nil {
+		return t.computeSSSP(src)
+	}
+	c.mu.RLock()
+	tree, ok := c.sssp[src]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return tree
+	}
+	c.misses.Add(1)
+	tree = t.computeSSSP(src)
+	c.mu.Lock()
+	if prior, exists := c.sssp[src]; exists {
+		tree = prior
+	} else {
+		c.sssp[src] = tree
+	}
+	c.mu.Unlock()
+	return tree
+}
+
+// computeSSSP runs the same O(V²) Dijkstra as shortestPathAvoiding with
+// no bans and no early exit, so the tree's per-destination paths are
+// identical to per-pair queries (same scan order, same strict
+// relaxation; an early exit never alters the predecessors fixed before
+// the destination is selected).
+func (t *Topology) computeSSSP(src SwitchID) *ssspTree {
+	n := len(t.switches)
+	dist := make([]int64, n)
+	prev := make([]SwitchID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = infDist
+		prev[i] = -1
+	}
+	dist[src] = int64(t.switches[src].TransitLatency)
+	for {
+		u := SwitchID(-1)
+		best := infDist
+		for i := 0; i < n; i++ {
+			if !done[i] && dist[i] < best {
+				best = dist[i]
+				u = SwitchID(i)
+			}
+		}
+		if u < 0 {
+			break
+		}
+		done[u] = true
+		for _, e := range t.adj[u] {
+			if done[e.to] {
+				continue
+			}
+			alt := dist[u] + int64(t.links[e.link].Latency) + int64(t.switches[e.to].TransitLatency)
+			if alt < dist[e.to] {
+				dist[e.to] = alt
+				prev[e.to] = u
+			}
+		}
+	}
+	return &ssspTree{dist: dist, prev: prev}
+}
+
+// pathTo reconstructs the tree's src→dst path. The error messages match
+// the uncached Dijkstra so callers observe identical behavior.
+func (tr *ssspTree) pathTo(src, dst SwitchID) (Path, error) {
+	if tr.dist[dst] == infDist {
+		return Path{}, fmt.Errorf("network: no path from %d to %d", src, dst)
+	}
+	var seq []SwitchID
+	for at := dst; at != -1; at = tr.prev[at] {
+		seq = append(seq, at)
+		if at == src {
+			break
+		}
+	}
+	for i, j := 0, len(seq)-1; i < j; i, j = i+1, j-1 {
+		seq[i], seq[j] = seq[j], seq[i]
+	}
+	if seq[0] != src {
+		return Path{}, fmt.Errorf("network: path reconstruction failed for %d->%d", src, dst)
+	}
+	return Path{Switches: seq, Latency: time.Duration(tr.dist[dst])}, nil
+}
+
+// programmableByLatency returns the cached latency-sorted list of
+// programmable switches reachable from src (excluding src itself).
+func (t *Topology) programmableByLatency(src SwitchID) []progCand {
+	c := t.cache
+	if c != nil {
+		c.mu.RLock()
+		cands, ok := c.near[src]
+		c.mu.RUnlock()
+		if ok {
+			c.hits.Add(1)
+			return cands
+		}
+		c.misses.Add(1)
+	}
+	tree := t.ssspFrom(src)
+	var cands []progCand
+	for _, s := range t.switches {
+		if !s.Programmable || s.ID == src || tree.dist[s.ID] == infDist {
+			continue
+		}
+		cands = append(cands, progCand{id: s.ID, lat: time.Duration(tree.dist[s.ID])})
+	}
+	sortProgCands(cands)
+	if c != nil {
+		c.mu.Lock()
+		c.near[src] = cands
+		c.mu.Unlock()
+	}
+	return cands
+}
+
+func sortProgCands(cands []progCand) {
+	// Insertion-order-independent: sort by (latency, id), matching the
+	// uncached NearestProgrammable tie-break.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0; j-- {
+			a, b := cands[j-1], cands[j]
+			if a.lat < b.lat || (a.lat == b.lat && a.id < b.id) {
+				break
+			}
+			cands[j-1], cands[j] = b, a
+		}
+	}
+}
+
+// clonePath returns an independent copy of p.
+func clonePath(p Path) Path {
+	return Path{Switches: append([]SwitchID(nil), p.Switches...), Latency: p.Latency}
+}
+
+func clonePaths(ps []Path) []Path {
+	out := make([]Path, len(ps))
+	for i, p := range ps {
+		out[i] = clonePath(p)
+	}
+	return out
+}
+
+// --- shared helpers for the hot call sites ---
+
+// ChainLatency sums the shortest-path latency between consecutive
+// entries of chain — the scoring loop shared by Alg. 2's candidate
+// chains and the SPEED/MTP anchor selection. It fails when any
+// consecutive pair is disconnected.
+func (t *Topology) ChainLatency(chain []SwitchID) (time.Duration, error) {
+	var total time.Duration
+	for i := 0; i+1 < len(chain); i++ {
+		p, err := t.ShortestPath(chain[i], chain[i+1])
+		if err != nil {
+			return 0, err
+		}
+		total += p.Latency
+	}
+	return total, nil
+}
+
+// ShortestPaths answers a batch of ordered-pair shortest-path queries
+// (the per-pair route loop shared by plan construction and the ε1
+// feasibility checks). The i-th result corresponds to pairs[i].
+func (t *Topology) ShortestPaths(pairs [][2]SwitchID) ([]Path, error) {
+	out := make([]Path, len(pairs))
+	for i, pr := range pairs {
+		p, err := t.ShortestPath(pr[0], pr[1])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}

@@ -1,0 +1,249 @@
+package network
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func pathsEqual(a, b Path) bool {
+	return a.Latency == b.Latency && reflect.DeepEqual(a.Switches, b.Switches)
+}
+
+func TestOracleHitMissAccounting(t *testing.T) {
+	tp := diamond(t)
+	if s := tp.PathCacheStats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("fresh topology stats = %+v, want zero", s)
+	}
+	if _, err := tp.ShortestPath(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	s := tp.PathCacheStats()
+	if s.Misses != 1 || s.Hits != 0 {
+		t.Fatalf("after first query stats = %+v, want 1 miss", s)
+	}
+	// Same source, different destination: served by the same SSSP tree.
+	if _, err := tp.ShortestPath(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tp.ShortestPath(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	s = tp.PathCacheStats()
+	if s.Misses != 1 || s.Hits != 2 {
+		t.Fatalf("after repeat queries stats = %+v, want 1 miss / 2 hits", s)
+	}
+}
+
+func TestOracleInvalidation(t *testing.T) {
+	tp := diamond(t)
+	p1, err := tp.ShortestPath(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0-1-3 costs 2ms in links; a direct 0-3 link at 100µs must win,
+	// which only happens if AddLink drops the cached tree.
+	if err := tp.AddLink(0, 3, 100*time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if s := tp.PathCacheStats(); s.Invalidations == 0 {
+		t.Fatal("AddLink did not invalidate the cache")
+	}
+	p2, err := tp.ShortestPath(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Switches) != 2 || p2.Latency >= p1.Latency {
+		t.Fatalf("post-AddLink path = %v (was %v), want direct 0-3", p2, p1)
+	}
+
+	// AddSwitch likewise invalidates (the new switch is reachable only
+	// if fresh trees are computed).
+	before := tp.PathCacheStats().Invalidations
+	id := tp.AddSwitch(Switch{Programmable: true, Stages: 12, StageCapacity: 1, TransitLatency: time.Microsecond})
+	if tp.PathCacheStats().Invalidations == before {
+		t.Fatal("AddSwitch did not invalidate the cache")
+	}
+	if err := tp.AddLink(4, id, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tp.ShortestPath(0, id); err != nil {
+		t.Fatalf("path to new switch: %v", err)
+	}
+}
+
+func TestOracleCloneIndependence(t *testing.T) {
+	tp := diamond(t)
+	if _, err := tp.ShortestPath(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	cl := tp.Clone()
+	if s := cl.PathCacheStats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("clone inherited cache stats %+v, want fresh", s)
+	}
+	// Mutating the clone must not disturb the original's cache.
+	if err := cl.AddLink(0, 3, time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	p, err := tp.ShortestPath(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []SwitchID{0, 1, 3}; !reflect.DeepEqual(p.Switches, want) {
+		t.Fatalf("original path changed to %v after clone mutation", p.Switches)
+	}
+	cp, err := cl.ShortestPath(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Switches) != 2 {
+		t.Fatalf("clone path = %v, want direct shortcut", cp.Switches)
+	}
+}
+
+// TestOracleMatchesUncached checks every cached answer against the
+// uncached Dijkstra the oracle replaced.
+func TestOracleMatchesUncached(t *testing.T) {
+	tp, err := RandomWAN("wan", 30, 60, TofinoSpec(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := SwitchID(tp.NumSwitches())
+	for src := SwitchID(0); src < n; src++ {
+		for dst := SwitchID(0); dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			got, gerr := tp.ShortestPath(src, dst)
+			want, werr := tp.shortestPathAvoiding(src, dst, nil, nil)
+			if (gerr != nil) != (werr != nil) {
+				t.Fatalf("%d->%d: cached err %v, uncached err %v", src, dst, gerr, werr)
+			}
+			if gerr == nil && got.Latency != want.Latency {
+				t.Fatalf("%d->%d: cached latency %v, uncached %v", src, dst, got.Latency, want.Latency)
+			}
+		}
+	}
+}
+
+func TestOracleKShortestPrefix(t *testing.T) {
+	tp := diamond(t)
+	p4, err := tp.KShortestPaths(0, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := tp.KShortestPaths(0, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2) > len(p4) {
+		t.Fatalf("k=2 returned %d paths, k=4 returned %d", len(p2), len(p4))
+	}
+	for i := range p2 {
+		if !pathsEqual(p2[i], p4[i]) {
+			t.Fatalf("path %d differs between k=2 and k=4: %v vs %v", i, p2[i], p4[i])
+		}
+	}
+	// Returned slices are defensive copies: corrupting one must not leak
+	// into later queries.
+	p2[0].Switches[0] = 99
+	again, err := tp.KShortestPaths(0, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].Switches[0] != 0 {
+		t.Fatal("cache returned aliased path slice")
+	}
+}
+
+func TestOracleNearestProgrammableCached(t *testing.T) {
+	tp := diamond(t)
+	first, err := tp.NearestProgrammable(0, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := tp.NearestProgrammable(0, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("cached NearestProgrammable differs: %v vs %v", first, second)
+	}
+	limited, err := tp.NearestProgrammable(0, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(limited, first[:2]) {
+		t.Fatalf("limit=2 = %v, want prefix of %v", limited, first)
+	}
+}
+
+// TestOracleConcurrentReaders hammers one topology from many
+// goroutines; run with -race this doubles as the data-race check for
+// the read path.
+func TestOracleConcurrentReaders(t *testing.T) {
+	tp, err := RandomWAN("wan", 20, 40, TofinoSpec(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := SwitchID(tp.NumSwitches())
+	ref, err := tp.ShortestPath(0, n-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				src := SwitchID((w + i) % int(n))
+				dst := SwitchID((w * 7) % int(n))
+				if src != dst {
+					if _, err := tp.ShortestPath(src, dst); err != nil {
+						t.Errorf("ShortestPath(%d,%d): %v", src, dst, err)
+						return
+					}
+				}
+				if _, err := tp.KShortestPaths(0, n-1, 1+i%3); err != nil {
+					t.Errorf("KShortestPaths: %v", err)
+					return
+				}
+				if _, err := tp.NearestProgrammable(src, 4, 0); err != nil {
+					t.Errorf("NearestProgrammable: %v", err)
+					return
+				}
+				got, err := tp.ShortestPath(0, n-1)
+				if err != nil || !pathsEqual(got, ref) {
+					t.Errorf("concurrent ShortestPath(0,%d) = %v, %v; want %v", n-1, got, err, ref)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestChainLatency(t *testing.T) {
+	tp := diamond(t)
+	lat, err := tp.ChainLatency([]SwitchID{0, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tp.ShortestPath(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tp.ShortestPath(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := a.Latency + b.Latency; lat != want {
+		t.Fatalf("ChainLatency = %v, want %v", lat, want)
+	}
+	if _, err := tp.ChainLatency([]SwitchID{0}); err != nil {
+		t.Fatalf("single-element chain: %v", err)
+	}
+}

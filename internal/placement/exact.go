@@ -2,6 +2,9 @@ package placement
 
 import (
 	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
 	"time"
 
 	"github.com/hermes-net/hermes/internal/network"
@@ -46,12 +49,52 @@ type exactState struct {
 	bestSet  map[string]network.SwitchID
 	haveBest bool
 
-	nodes    int
-	maxNodes int
-	deadline time.Time
-	capped   bool
+	// localNodes paces the deadline poll; sharedNodes is the global
+	// search-node counter enforcing maxNodes across every branch (and
+	// doubling as the sole counter for the sequential search).
+	localNodes  int
+	sharedNodes *atomic.Int64
+	// sharedBest publishes the best incumbent value across branches:
+	// a subtree whose running pair maximum strictly exceeds it cannot
+	// contain the winning leaf in any branch, so dfs prunes on it.
+	// Equality never prunes — an earlier-in-DFS-order branch must still
+	// reach its own copy of an equal-valued optimum for the merge
+	// tie-break to match the sequential search.
+	sharedBest *atomic.Int64
+	maxNodes   int
+	deadline   time.Time
+	capped     bool
 
 	symmetry bool
+}
+
+// clone deep-copies the mutable search state (assignment, loads, pair
+// bytes, contracted switch graph); immutable inputs and the shared
+// atomics are carried over by reference. bestSet is shared too: it is
+// only ever replaced wholesale, never mutated in place.
+func (st *exactState) clone() *exactState {
+	c := *st
+	c.assign = make(map[string]network.SwitchID, len(st.assign))
+	for k, v := range st.assign {
+		c.assign[k] = v
+	}
+	c.load = make(map[network.SwitchID]float64, len(st.load))
+	for k, v := range st.load {
+		c.load[k] = v
+	}
+	c.pair = make(map[RouteKey]int, len(st.pair))
+	for k, v := range st.pair {
+		c.pair[k] = v
+	}
+	c.swAdj = make(map[network.SwitchID]map[network.SwitchID]int, len(st.swAdj))
+	for k, m := range st.swAdj {
+		inner := make(map[network.SwitchID]int, len(m))
+		for k2, v := range m {
+			inner[k2] = v
+		}
+		c.swAdj[k] = inner
+	}
+	return &c
 }
 
 // Solve implements Solver.
@@ -89,6 +132,9 @@ func (e Exact) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Plan,
 	if st.maxNodes <= 0 {
 		st.maxNodes = 4 << 20
 	}
+	st.sharedNodes = &atomic.Int64{}
+	st.sharedBest = &atomic.Int64{}
+	st.sharedBest.Store(math.MaxInt64)
 	homogeneous := true
 	var s0 *network.Switch
 	for _, id := range prog {
@@ -116,9 +162,14 @@ func (e Exact) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Plan,
 			st.bestSet[name] = sp.Switch
 		}
 		st.haveBest = true
+		st.sharedBest.Store(int64(st.bestA))
 	}
 
-	st.dfs(0)
+	if workers := opts.workers(); workers > 1 && len(st.order) > 1 {
+		searchParallel(st, workers)
+	} else {
+		st.dfs(0)
+	}
 
 	if !st.haveBest {
 		if st.capped {
@@ -139,11 +190,12 @@ func (e Exact) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Plan,
 
 // dfs explores assignments of order[i:].
 func (st *exactState) dfs(i int) {
-	st.nodes++
+	total := st.sharedNodes.Add(1)
+	st.localNodes++
 	if st.capped {
 		return
 	}
-	if st.nodes >= st.maxNodes || (!st.deadline.IsZero() && st.nodes%1024 == 0 && time.Now().After(st.deadline)) {
+	if total >= int64(st.maxNodes) || (!st.deadline.IsZero() && st.localNodes%1024 == 0 && time.Now().After(st.deadline)) {
 		st.capped = true
 		return
 	}
@@ -207,7 +259,7 @@ func (st *exactState) dfs(i int) {
 			st.swAdj[pu][u]++
 			log = append(log, undo{key: key, bytes: e.MetadataBytes})
 		}
-		if ok && (!st.haveBest || st.curMax < st.bestA) {
+		if ok && (!st.haveBest || st.curMax < st.bestA) && int64(st.curMax) <= st.sharedBest.Load() {
 			st.assign[name] = u
 			st.load[u] += req
 			if newSwitch {
@@ -237,6 +289,149 @@ func (st *exactState) dfs(i int) {
 			return
 		}
 	}
+}
+
+// frontierNode is one search subtree root awaiting exploration:
+// order[:depth] is assigned in st, and path records the candidate
+// indices chosen along the way so nodes can be ranked in the exact
+// DFS visit order of the sequential search.
+type frontierNode struct {
+	st    *exactState
+	depth int
+	path  []int
+}
+
+// searchParallel splits the top of the DFS tree into independent
+// subtree roots and explores them concurrently. Every branch runs the
+// sequential dfs with a branch-local strict incumbent seeded from the
+// warm start, plus the shared atomic bound for cross-branch pruning
+// (strict, so equal-valued optima survive in every branch). Because
+// each branch ends holding its first leaf (in its own DFS order) that
+// attains its local minimum, merging the branches in DFS order with a
+// strict comparison reproduces the sequential result exactly: the
+// global winner is the first leaf in global DFS order attaining the
+// optimal A_max. Runs that hit the node cap or deadline may explore a
+// different set of nodes than the sequential search and can return a
+// different (still feasible, Proven=false) incumbent.
+func searchParallel(root *exactState, workers int) {
+	// Expand breadth-first until there are enough subtree roots to
+	// balance across the workers (or the tree is exhausted first).
+	target := workers * 4
+	frontier := []frontierNode{{st: root.clone(), depth: 0}}
+	for len(frontier) > 0 && len(frontier) < target && frontier[0].depth < len(root.order)-1 {
+		fn := frontier[0]
+		frontier = frontier[1:]
+		for _, ch := range fn.st.expand(fn.depth) {
+			frontier = append(frontier, frontierNode{
+				st:    ch.st,
+				depth: fn.depth + 1,
+				path:  append(append([]int(nil), fn.path...), ch.candIdx),
+			})
+		}
+	}
+	// Rank subtree roots in sequential DFS visit order: lexicographic
+	// over candidate-index paths (a BFS queue interleaves levels once
+	// the target is hit mid-level).
+	sort.Slice(frontier, func(i, j int) bool {
+		a, b := frontier[i].path, frontier[j].path
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+
+	parallelFor(len(frontier), workers, func(i int) {
+		frontier[i].st.dfs(frontier[i].depth)
+	})
+
+	// Merge in DFS order with a strict comparison: the first branch
+	// attaining the global minimum supplies the assignment, matching
+	// the sequential search's last-improvement semantics.
+	for _, fn := range frontier {
+		b := fn.st
+		if b.capped {
+			root.capped = true
+		}
+		if b.haveBest && (!root.haveBest || b.bestA < root.bestA) {
+			root.bestA = b.bestA
+			root.bestSet = b.bestSet
+			root.haveBest = true
+		}
+	}
+}
+
+// expandedChild pairs a child state with the candidate index that
+// produced it (for DFS-order ranking).
+type expandedChild struct {
+	st      *exactState
+	candIdx int
+}
+
+// expand returns the surviving child states for assigning order[i],
+// applying exactly the candidate filters of dfs (symmetry, capacity,
+// ε2, switch-graph acyclicity, incumbent bound). The receiver is not
+// mutated; each child is an independent clone with the assignment
+// committed.
+func (st *exactState) expand(i int) []expandedChild {
+	name := st.order[i]
+	node, _ := st.g.Node(name)
+	req := st.opts.resourceModel().Requirement(node.MAT)
+	eps2 := st.opts.epsilon2(len(st.cands))
+
+	usedHighest := -1
+	if st.symmetry {
+		for idx, u := range st.cands {
+			if st.load[u] > 0 {
+				usedHighest = idx
+			}
+		}
+	}
+	var out []expandedChild
+	for idx, u := range st.cands {
+		if st.symmetry && st.load[u] == 0 && idx > usedHighest+1 {
+			continue
+		}
+		if st.load[u]+req > st.caps[u]+1e-9 {
+			continue
+		}
+		newSwitch := st.load[u] == 0
+		if newSwitch && st.distinct+1 > eps2 {
+			continue
+		}
+		ch := st.clone()
+		ok := true
+		for _, e := range st.g.InEdges(name) {
+			pu, assigned := ch.assign[e.From]
+			if !assigned || pu == u {
+				continue
+			}
+			if ch.reachable(u, pu) {
+				ok = false
+				break
+			}
+			key := RouteKey{From: pu, To: u}
+			ch.pair[key] += e.MetadataBytes
+			if ch.pair[key] > ch.curMax {
+				ch.curMax = ch.pair[key]
+			}
+			if ch.swAdj[pu] == nil {
+				ch.swAdj[pu] = map[network.SwitchID]int{}
+			}
+			ch.swAdj[pu][u]++
+		}
+		if !ok || (ch.haveBest && ch.curMax >= ch.bestA) {
+			continue
+		}
+		ch.assign[name] = u
+		ch.load[u] += req
+		if newSwitch {
+			ch.distinct++
+		}
+		out = append(out, expandedChild{st: ch, candIdx: idx})
+	}
+	return out
 }
 
 // reachable reports whether dst is reachable from src in the contracted
@@ -304,6 +499,14 @@ func (st *exactState) evaluateLeaf() {
 		st.bestSet[name] = u
 	}
 	st.haveBest = true
+	// Publish the improvement so sibling branches prune against it
+	// (monotone min; equality keeps the first stored value).
+	for {
+		cur := st.sharedBest.Load()
+		if int64(st.bestA) >= cur || st.sharedBest.CompareAndSwap(cur, int64(st.bestA)) {
+			break
+		}
+	}
 }
 
 // materialize turns the best assignment into a full plan with stage

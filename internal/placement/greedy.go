@@ -27,8 +27,10 @@ type Greedy struct {
 	DisableDPSplit bool
 	// DisableImprove skips the local-search polish.
 	DisableImprove bool
-	// ImproveBudget caps the local search (default 2s when no Deadline
-	// is set in Options).
+	// ImproveBudget caps the local search wall clock. The zero value
+	// means the 2s default; the cap always applies, and when
+	// Options.Deadline is also set the local search stops at whichever
+	// comes first.
 	ImproveBudget time.Duration
 }
 
@@ -89,13 +91,15 @@ func (gr Greedy) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Pla
 		if err == nil {
 			if !gr.DisableImprove {
 				// Refinement: bounded local search over single-MAT moves.
-				deadline := opts.Deadline
-				if deadline.IsZero() {
-					budget := gr.ImproveBudget
-					if budget <= 0 {
-						budget = 2 * time.Second
-					}
-					deadline = time.Now().Add(budget)
+				// The improve budget (default 2s) always caps the search;
+				// a tighter Options.Deadline wins when set.
+				budget := gr.ImproveBudget
+				if budget <= 0 {
+					budget = 2 * time.Second
+				}
+				deadline := time.Now().Add(budget)
+				if !opts.Deadline.IsZero() && opts.Deadline.Before(deadline) {
+					deadline = opts.Deadline
 				}
 				if ierr := localImprove(plan, opts, rm, deadline); ierr != nil {
 					return nil, ierr
@@ -193,18 +197,22 @@ func capacitySplit(g *tdg.Graph, sw *network.Switch, rm program.ResourceModel) (
 			if dp[j].groups == inf {
 				continue
 			}
-			if !FitsSwitch(g, order[j:i], sw, rm) {
-				continue
-			}
 			boundary := 0
 			if j > 0 {
 				boundary = cutAt[j]
 			}
 			cand := cell{groups: dp[j].groups + 1, cost: dp[j].cost + boundary}
-			if cand.groups < dp[i].groups || (cand.groups == dp[i].groups && cand.cost < dp[i].cost) {
-				dp[i] = cand
-				prev[i] = j
+			// Test the cell improvement before the (expensive) packing
+			// attempt: a candidate that cannot improve dp[i] never needs
+			// its feasibility decided, and the dp table is unchanged.
+			if cand.groups > dp[i].groups || (cand.groups == dp[i].groups && cand.cost >= dp[i].cost) {
+				continue
 			}
+			if !FitsSwitch(g, order[j:i], sw, rm) {
+				continue
+			}
+			dp[i] = cand
+			prev[i] = j
 		}
 	}
 	if dp[n].groups == inf {
@@ -361,6 +369,13 @@ func coalesceSegments(g *tdg.Graph, segments []*tdg.Graph, sw *network.Switch, r
 // lines 21-29). On packing failure it reports the index of the
 // offending segment so the caller can refine. splitIdx == -1 signals a
 // non-recoverable error.
+//
+// Anchors are evaluated concurrently in waves of opts.Workers: each
+// anchor's candidate chain and packing attempt is independent
+// (read-only against the shared graph, oracle, and pack memo), and the
+// wave results are merged in anchor order — first success wins, and
+// the error/splitIdx bookkeeping matches the sequential loop exactly.
+// A wave bounds the work wasted past the first successful anchor.
 func placeSegments(g *tdg.Graph, topo *network.Topology, segments []*tdg.Graph, opts Options, rm program.ResourceModel) (*Plan, int, error) {
 	prog := topo.ProgrammableSwitches()
 	eps2 := opts.epsilon2(len(prog))
@@ -368,28 +383,61 @@ func placeSegments(g *tdg.Graph, topo *network.Topology, segments []*tdg.Graph, 
 		return nil, -1, fmt.Errorf("placement: %d segments exceed ε2=%d switches", len(segments), eps2)
 	}
 
+	type anchorResult struct {
+		plan     *Plan
+		splitIdx int
+		err      error
+		// fatal marks errors the sequential loop aborts on immediately
+		// (candidate lookup failures) rather than recording and moving
+		// to the next anchor.
+		fatal bool
+	}
+	workers := opts.workers()
+	wave := workers
+	if wave < 1 {
+		wave = 1
+	}
+	results := make([]anchorResult, len(prog))
+
 	var lastErr error
 	lastSplit := -1
-	for _, u := range prog {
-		// SELECT_SWITCHES: u plus its ε2-1 nearest programmable
-		// neighbors within latency ε1.
-		near, err := topo.NearestProgrammable(u, eps2-1, opts.Epsilon1)
-		if err != nil {
-			return nil, -1, err
+	for base := 0; base < len(prog); base += wave {
+		end := base + wave
+		if end > len(prog) {
+			end = len(prog)
 		}
-		cands := append([]network.SwitchID{u}, near...)
-		if len(segments) > len(cands) {
-			lastErr = fmt.Errorf("placement: anchor %d offers only %d candidate switches for %d segments",
-				u, len(cands), len(segments))
-			continue
-		}
-		plan, splitIdx, err := tryAssign(g, topo, segments, cands, rm)
-		if err == nil {
-			return plan, -1, nil
-		}
-		lastErr = err
-		if splitIdx >= 0 {
-			lastSplit = splitIdx
+		parallelFor(end-base, workers, func(off int) {
+			i := base + off
+			u := prog[i]
+			// SELECT_SWITCHES: u plus its ε2-1 nearest programmable
+			// neighbors within latency ε1.
+			near, err := topo.NearestProgrammable(u, eps2-1, opts.Epsilon1)
+			if err != nil {
+				results[i] = anchorResult{splitIdx: -1, err: err, fatal: true}
+				return
+			}
+			cands := append([]network.SwitchID{u}, near...)
+			if len(segments) > len(cands) {
+				results[i] = anchorResult{splitIdx: -1, err: fmt.Errorf(
+					"placement: anchor %d offers only %d candidate switches for %d segments",
+					u, len(cands), len(segments))}
+				return
+			}
+			plan, splitIdx, err := tryAssign(g, topo, segments, cands, rm)
+			results[i] = anchorResult{plan: plan, splitIdx: splitIdx, err: err}
+		})
+		for i := base; i < end; i++ {
+			r := results[i]
+			if r.fatal {
+				return nil, -1, r.err
+			}
+			if r.err == nil {
+				return r.plan, -1, nil
+			}
+			lastErr = r.err
+			if r.splitIdx >= 0 {
+				lastSplit = r.splitIdx
+			}
 		}
 	}
 	if lastErr == nil {

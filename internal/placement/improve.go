@@ -16,44 +16,70 @@ import (
 // placement; this refinement is an extension that narrows the
 // heuristic's gap to the optimum at negligible cost, since contiguous
 // topological segmentation cannot express every good partition.
+//
+// Candidate moves are scored incrementally — O(deg + pairs) per
+// candidate against a maintained pair-byte table instead of an O(E)
+// rescan — and the score phase for one MAT's candidate switches fans
+// out across opts.Workers goroutines. A candidate's score describes
+// the absolute state "MAT on that switch, everything else fixed", so
+// it is independent of both evaluation order and any acceptance made
+// earlier in the same candidate loop; the serial acceptance walk that
+// follows therefore reproduces the sequential first-improvement result
+// exactly for every worker count.
 func localImprove(p *Plan, opts Options, rm program.ResourceModel, deadline time.Time) error {
-	assign := map[string]network.SwitchID{}
-	for name, sp := range p.Assignments {
-		assign[name] = sp.Switch
-	}
-	used := usedSwitches(assign)
-	bestA, bestCross := scoreAssignment(p, assign)
+	st := newImproveState(p)
+	used := usedSwitches(st.assignMap)
+	bestA, bestCross := st.score()
+	workers := opts.workers()
 
-	names := p.Graph.NodeNames()
-	sort.Strings(names)
+	type candScore struct {
+		a, cross int
+		valid    bool
+	}
+	scores := make([]candScore, len(used))
+	// One scratch delta map per scoring goroutine.
+	scratches := make([]map[RouteKey]int, workers)
+	for i := range scratches {
+		scratches[i] = map[RouteKey]int{}
+	}
 
 	const maxPasses = 4
 	for pass := 0; pass < maxPasses; pass++ {
 		improved := false
-		for _, name := range names {
+		for xi, name := range st.names {
 			if !deadline.IsZero() && time.Now().After(deadline) {
 				break
 			}
-			cur := assign[name]
-			for _, cand := range used {
-				if cand == cur {
+			cur := st.assign[xi]
+			// Score phase: pure concurrent reads of the shared state.
+			parallelForShard(len(used), workers, func(shard, ci int) {
+				if used[ci] == cur {
+					scores[ci] = candScore{}
+					return
+				}
+				a, cross := st.evalMove(xi, used[ci], scratches[shard])
+				scores[ci] = candScore{a: a, cross: cross, valid: true}
+			})
+			// Acceptance phase: sequential first-improvement walk in
+			// candidate order, identical to the serial algorithm.
+			for ci, cand := range used {
+				sc := scores[ci]
+				if !sc.valid || cand == cur {
 					continue
 				}
-				assign[name] = cand
-				a, cross := scoreAssignment(p, assign)
-				if a > bestA || (a == bestA && cross >= bestCross) {
-					assign[name] = cur
+				if sc.a > bestA || (sc.a == bestA && sc.cross >= bestCross) {
 					continue
 				}
-				if !moveFeasible(p, assign, opts, rm, cur, cand) {
-					assign[name] = cur
+				st.assignMap[name] = cand
+				if !moveFeasible(p, st.assignMap, opts, rm, cur, cand) {
+					st.assignMap[name] = cur
 					continue
 				}
-				bestA, bestCross = a, cross
+				st.applyMove(xi, cand)
+				bestA, bestCross = sc.a, sc.cross
 				cur = cand
 				improved = true
 			}
-			assign[name] = cur
 		}
 		if !improved {
 			break
@@ -61,13 +87,159 @@ func localImprove(p *Plan, opts Options, rm program.ResourceModel, deadline time
 	}
 
 	// Rebuild the plan from the (possibly) improved assignment.
-	rebuilt, err := materializeAssignment(p.Graph, p.Topo, assign, rm)
+	rebuilt, err := materializeAssignment(p.Graph, p.Topo, st.assignMap, rm)
 	if err != nil {
 		return err
 	}
 	p.Assignments = rebuilt.Assignments
 	p.Routes = rebuilt.Routes
 	return nil
+}
+
+// improveEdge is one TDG edge in index space.
+type improveEdge struct {
+	from, to int
+	bytes    int
+}
+
+// improveState maintains the incremental scoring structures of the
+// hill climb: the assignment in index space, the per-ordered-pair
+// cross-byte table, and the running total of cross bytes. Entries in
+// pairBytes may decay to zero; they contribute nothing to A_max (which
+// is floored at zero, exactly like the full rescan).
+type improveState struct {
+	p         *Plan
+	names     []string
+	assign    []network.SwitchID
+	assignMap map[string]network.SwitchID
+	edges     []improveEdge
+	incident  [][]int
+	pairBytes map[RouteKey]int
+	total     int
+}
+
+func newImproveState(p *Plan) *improveState {
+	names := p.Graph.NodeNames()
+	sort.Strings(names)
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		idx[n] = i
+	}
+	st := &improveState{
+		p:         p,
+		names:     names,
+		assign:    make([]network.SwitchID, len(names)),
+		assignMap: make(map[string]network.SwitchID, len(names)),
+		incident:  make([][]int, len(names)),
+		pairBytes: map[RouteKey]int{},
+	}
+	for name, sp := range p.Assignments {
+		st.assign[idx[name]] = sp.Switch
+		st.assignMap[name] = sp.Switch
+	}
+	for _, e := range p.Graph.EdgeList() {
+		ei := len(st.edges)
+		f, t := idx[e.From], idx[e.To]
+		st.edges = append(st.edges, improveEdge{from: f, to: t, bytes: e.MetadataBytes})
+		st.incident[f] = append(st.incident[f], ei)
+		st.incident[t] = append(st.incident[t], ei)
+		ua, ub := st.assign[f], st.assign[t]
+		if ua != ub {
+			st.pairBytes[RouteKey{From: ua, To: ub}] += e.MetadataBytes
+			st.total += e.MetadataBytes
+		}
+	}
+	return st
+}
+
+// score returns the current (A_max, total cross bytes).
+func (st *improveState) score() (int, int) {
+	max := 0
+	for _, b := range st.pairBytes {
+		if b > max {
+			max = b
+		}
+	}
+	return max, st.total
+}
+
+// evalMove computes the absolute (A_max, total cross bytes) of the
+// assignment with MAT x on switch c and every other MAT unchanged,
+// without mutating the state. delta is caller-provided scratch (its
+// contents are discarded); O(deg(x) + |pairBytes|).
+func (st *improveState) evalMove(x int, c network.SwitchID, delta map[RouteKey]int) (int, int) {
+	for k := range delta {
+		delete(delta, k)
+	}
+	cross := st.total
+	old := st.assign[x]
+	for _, ei := range st.incident[x] {
+		e := st.edges[ei]
+		var peer network.SwitchID
+		var oldKey, newKey RouteKey
+		if e.from == x {
+			peer = st.assign[e.to]
+			oldKey = RouteKey{From: old, To: peer}
+			newKey = RouteKey{From: c, To: peer}
+		} else {
+			peer = st.assign[e.from]
+			oldKey = RouteKey{From: peer, To: old}
+			newKey = RouteKey{From: peer, To: c}
+		}
+		if peer != old {
+			delta[oldKey] -= e.bytes
+			cross -= e.bytes
+		}
+		if peer != c {
+			delta[newKey] += e.bytes
+			cross += e.bytes
+		}
+	}
+	max := 0
+	for k, b := range st.pairBytes {
+		if d, ok := delta[k]; ok {
+			b += d
+		}
+		if b > max {
+			max = b
+		}
+	}
+	for k, d := range delta {
+		if _, ok := st.pairBytes[k]; !ok && d > max {
+			max = d
+		}
+	}
+	return max, cross
+}
+
+// applyMove commits MAT x to switch c, updating the pair table, the
+// cross-byte total, and both assignment views.
+func (st *improveState) applyMove(x int, c network.SwitchID) {
+	old := st.assign[x]
+	for _, ei := range st.incident[x] {
+		e := st.edges[ei]
+		var peer network.SwitchID
+		var oldKey, newKey RouteKey
+		if e.from == x {
+			peer = st.assign[e.to]
+			oldKey = RouteKey{From: old, To: peer}
+			newKey = RouteKey{From: c, To: peer}
+		} else {
+			peer = st.assign[e.from]
+			oldKey = RouteKey{From: peer, To: old}
+			newKey = RouteKey{From: peer, To: c}
+		}
+		if peer != old {
+			st.pairBytes[oldKey] -= e.bytes
+			st.total -= e.bytes
+		}
+		if peer != c {
+			st.pairBytes[newKey] += e.bytes
+			st.total += e.bytes
+		}
+	}
+	st.assign[x] = c
+	st.assignMap[st.names[x]] = c
 }
 
 func usedSwitches(assign map[string]network.SwitchID) []network.SwitchID {
@@ -81,28 +253,6 @@ func usedSwitches(assign map[string]network.SwitchID) []network.SwitchID {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
-}
-
-// scoreAssignment computes (A_max, total cross bytes) for a raw
-// assignment without materializing stages.
-func scoreAssignment(p *Plan, assign map[string]network.SwitchID) (int, int) {
-	pair := map[RouteKey]int{}
-	total := 0
-	for _, e := range p.Graph.EdgeList() {
-		ua, ub := assign[e.From], assign[e.To]
-		if ua == ub {
-			continue
-		}
-		pair[RouteKey{From: ua, To: ub}] += e.MetadataBytes
-		total += e.MetadataBytes
-	}
-	max := 0
-	for _, b := range pair {
-		if b > max {
-			max = b
-		}
-	}
-	return max, total
 }
 
 // moveFeasible validates an assignment after a move that touched the

@@ -3,11 +3,48 @@ package placement
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"github.com/hermes-net/hermes/internal/network"
 	"github.com/hermes-net/hermes/internal/program"
 	"github.com/hermes-net/hermes/internal/tdg"
 )
+
+// packMemoEntry is a cached PackStages outcome, stored in the graph's
+// derived-result memo. The map and its PerStage slices are shared
+// read-only; PackStages hands callers a fresh top-level map so the
+// cached copy cannot be grown or overwritten.
+type packMemoEntry struct {
+	out map[string]StagePlacement
+	err error
+}
+
+// packKey canonically identifies a packing instance: the topo-ordered
+// MAT set, the switch's shape (ID, stages, per-stage capacity), and the
+// resource model. The graph's structure and MAT requirements are
+// captured by the memo's host graph, which drops the memo on mutation.
+func packKey(ordered []string, sw *network.Switch, rm program.ResourceModel) string {
+	var b strings.Builder
+	for _, n := range ordered {
+		b.WriteString(n)
+		b.WriteByte(0x1f)
+	}
+	b.WriteString(strconv.Itoa(int(sw.ID)))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(sw.Stages))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatFloat(sw.StageCapacity, 'g', -1, 64))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(rm.SRAMBytesPerStage))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatFloat(rm.TCAMFactor, 'g', -1, 64))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatFloat(rm.ALUWeight, 'g', -1, 64))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatFloat(rm.MinCost, 'g', -1, 64))
+	return b.String()
+}
 
 // PackStages places the named MATs onto the pipeline stages of a single
 // switch. MATs are processed in topological order of the induced
@@ -43,6 +80,36 @@ func PackStages(g *tdg.Graph, names []string, sw *network.Switch, rm program.Res
 	}
 	sort.Slice(ordered, func(i, j int) bool { return pos[ordered[i]] < pos[ordered[j]] })
 
+	// Candidate evaluation re-packs the same (MAT set, switch) pairs
+	// constantly during local search and capacity splitting; memoize the
+	// outcome on the graph (cleared whenever the graph mutates).
+	key := packKey(ordered, sw, rm)
+	if v, ok := g.Memo(key); ok {
+		ent := v.(packMemoEntry)
+		if ent.err != nil {
+			return nil, ent.err
+		}
+		out := make(map[string]StagePlacement, len(ent.out))
+		for n, sp := range ent.out {
+			out[n] = sp
+		}
+		return out, nil
+	}
+	out, err := packOrdered(g, ordered, sw, rm)
+	g.MemoSet(key, packMemoEntry{out: out, err: err})
+	if err != nil {
+		return nil, err
+	}
+	fresh := make(map[string]StagePlacement, len(out))
+	for n, sp := range out {
+		fresh[n] = sp
+	}
+	return fresh, nil
+}
+
+// packOrdered is the uncached packing pass over an already
+// topo-ordered MAT list.
+func packOrdered(g *tdg.Graph, ordered []string, sw *network.Switch, rm program.ResourceModel) (map[string]StagePlacement, error) {
 	used := make([]float64, sw.Stages)
 	out := make(map[string]StagePlacement, len(ordered))
 	const tol = 1e-9

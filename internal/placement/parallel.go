@@ -1,0 +1,51 @@
+package placement
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn(i) for every i in [0, n) across at most workers
+// goroutines. Work items are claimed from an atomic counter, so the
+// call balances uneven item costs; fn must write its result into an
+// i-indexed slot (never shared state) so that accumulation stays
+// deterministic regardless of completion order. workers <= 1 (or n <=
+// 1) degrades to a plain loop on the calling goroutine.
+func parallelFor(n, workers int, fn func(i int)) {
+	parallelForShard(n, workers, func(_, i int) { fn(i) })
+}
+
+// parallelForShard is parallelFor with the executing goroutine's index
+// in [0, workers) passed alongside the item index, so callers can
+// reuse per-goroutine scratch buffers instead of allocating per item.
+func parallelForShard(n, workers int, fn func(shard, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}()
+	}
+	wg.Wait()
+}

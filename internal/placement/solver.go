@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"runtime"
 	"time"
 
 	"github.com/hermes-net/hermes/internal/network"
@@ -23,6 +24,11 @@ type Options struct {
 	// Resources is the MAT resource model; zero value means
 	// program.DefaultResourceModel.
 	Resources *program.ResourceModel
+	// Workers bounds solver-internal parallelism (anchor candidate
+	// evaluation, local-search move scoring, exact-search branch
+	// exploration). Zero or negative means GOMAXPROCS. Every worker
+	// count produces the same Plan.
+	Workers int
 }
 
 // resourceModel resolves the effective model.
@@ -31,6 +37,14 @@ func (o Options) resourceModel() program.ResourceModel {
 		return *o.Resources
 	}
 	return program.DefaultResourceModel
+}
+
+// workers resolves the effective parallelism width.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // epsilon2 resolves the effective occupied-switch bound given the
@@ -59,15 +73,23 @@ func AddRoutes(p *Plan) error {
 }
 
 // addRoutesForCrossPairs fills in shortest-path routes for every
-// communicating switch pair of the assignment.
+// communicating switch pair of the assignment, batching the queries
+// through the topology's path oracle.
 func addRoutesForCrossPairs(p *Plan) error {
-	p.Routes = map[RouteKey]network.Path{}
-	for key := range p.PairBytes() {
-		path, err := p.Topo.ShortestPath(key.From, key.To)
-		if err != nil {
-			return err
-		}
-		p.Routes[key] = path
+	bytes := p.PairBytes()
+	keys := make([]RouteKey, 0, len(bytes))
+	pairs := make([][2]network.SwitchID, 0, len(bytes))
+	for key := range bytes {
+		keys = append(keys, key)
+		pairs = append(pairs, [2]network.SwitchID{key.From, key.To})
+	}
+	paths, err := p.Topo.ShortestPaths(pairs)
+	if err != nil {
+		return err
+	}
+	p.Routes = make(map[RouteKey]network.Path, len(keys))
+	for i, key := range keys {
+		p.Routes[key] = paths[i]
 	}
 	return nil
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/hermes-net/hermes/internal/program"
 )
@@ -95,11 +96,26 @@ type Graph struct {
 	list []*Edge
 	// order preserves node insertion order for deterministic iteration.
 	order []string
-	// topoCache memoizes TopoSort between mutations.
+	// mu guards the lazily-filled topo cache and the derived-result
+	// memo, making read-only graph sharing safe across goroutines
+	// (parallel candidate evaluation packs against one shared graph).
+	// Mutations (AddNode/AddEdge/RemoveNode) remain single-goroutine
+	// operations; only reads may run concurrently.
+	mu sync.Mutex
+	// topoCache memoizes TopoSort between mutations; topoErr holds the
+	// cycle error when the last sort failed.
 	topoCache []string
 	topoPos   map[string]int
+	topoErr   error
 	topoValid bool
+	// memo caches derived computations keyed by caller-chosen strings
+	// (e.g. placement's stage-packing results). Cleared on mutation.
+	memo map[string]any
 }
+
+// memoCap bounds the derived-result memo; on overflow the memo is
+// cleared wholesale rather than evicted piecemeal.
+const memoCap = 1 << 16
 
 // New returns an empty graph.
 func New() *Graph {
@@ -122,7 +138,7 @@ func (g *Graph) AddNode(m *program.MAT, origin ...string) error {
 	g.out[m.Name] = make(map[string]*Edge)
 	g.in[m.Name] = make(map[string]*Edge)
 	g.order = append(g.order, m.Name)
-	g.topoValid = false
+	g.invalidateDerived()
 	return nil
 }
 
@@ -158,7 +174,7 @@ func (g *Graph) AddEdge(from, to string, typ DepType, metadataBytes int) error {
 	g.out[from][to] = e
 	g.in[to][from] = e
 	g.list = append(g.list, e)
-	g.topoValid = false
+	g.invalidateDerived()
 	return nil
 }
 
@@ -279,7 +295,7 @@ func (g *Graph) RemoveNode(name string) error {
 		}
 	}
 	g.list = kept
-	g.topoValid = false
+	g.invalidateDerived()
 	for i, n := range g.order {
 		if n == name {
 			g.order = append(g.order[:i], g.order[i+1:]...)
@@ -325,34 +341,76 @@ func (g *Graph) RedirectEdges(old, replacement string) error {
 // (a must precede b) but do not forbid co-location; they participate in
 // sorting like the others.
 func (g *Graph) TopoSort() ([]string, error) {
-	if g.topoValid {
-		if g.topoCache == nil {
-			return nil, fmt.Errorf("tdg: graph has a cycle")
-		}
-		return append([]string(nil), g.topoCache...), nil
-	}
-	order, err := g.topoSortUncached()
-	g.topoValid = true
+	cache, _, err := g.topoFill()
 	if err != nil {
-		g.topoCache = nil
-		g.topoPos = nil
 		return nil, err
 	}
-	g.topoCache = order
-	g.topoPos = make(map[string]int, len(order))
-	for i, n := range order {
-		g.topoPos[n] = i
+	return append([]string(nil), cache...), nil
+}
+
+// topoFill computes the topo cache on first use (under the lock, so
+// concurrent readers race-freely share the lazy fill) and returns the
+// shared cache, position map, and cycle error.
+func (g *Graph) topoFill() ([]string, map[string]int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.topoValid {
+		order, err := g.topoSortUncached()
+		g.topoValid = true
+		g.topoErr = err
+		if err != nil {
+			g.topoCache = nil
+			g.topoPos = nil
+		} else {
+			g.topoCache = order
+			g.topoPos = make(map[string]int, len(order))
+			for i, n := range order {
+				g.topoPos[n] = i
+			}
+		}
 	}
-	return append([]string(nil), order...), nil
+	return g.topoCache, g.topoPos, g.topoErr
 }
 
 // TopoIndex returns each node's position in the cached topological
 // order. The returned map is shared; callers must not modify it.
 func (g *Graph) TopoIndex() (map[string]int, error) {
-	if _, err := g.TopoSort(); err != nil {
+	_, pos, err := g.topoFill()
+	if err != nil {
 		return nil, err
 	}
-	return g.topoPos, nil
+	return pos, nil
+}
+
+// invalidateDerived drops every lazily-derived result (topo cache and
+// memo); called by every mutating operation.
+func (g *Graph) invalidateDerived() {
+	g.mu.Lock()
+	g.topoValid = false
+	g.topoErr = nil
+	g.memo = nil
+	g.mu.Unlock()
+}
+
+// Memo returns the derived value cached under key, if any. The memo is
+// safe for concurrent use and cleared on any graph mutation; callers
+// must treat stored values as immutable.
+func (g *Graph) Memo(key string) (any, bool) {
+	g.mu.Lock()
+	v, ok := g.memo[key]
+	g.mu.Unlock()
+	return v, ok
+}
+
+// MemoSet stores a derived value under key. When the memo exceeds
+// memoCap entries it is cleared wholesale before inserting.
+func (g *Graph) MemoSet(key string, val any) {
+	g.mu.Lock()
+	if g.memo == nil || len(g.memo) >= memoCap {
+		g.memo = make(map[string]any)
+	}
+	g.memo[key] = val
+	g.mu.Unlock()
 }
 
 func (g *Graph) topoSortUncached() ([]string, error) {
