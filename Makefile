@@ -1,14 +1,38 @@
 # Pre-merge check: run `make check` before sending a change. It is the
-# union of everything CI would need: vet, build, the full test suite
-# under the race detector (the placement engine is concurrent — racy
-# code must not land), and a one-shot smoke run of the parallel
-# speedup benchmark to prove the worker plumbing still functions.
+# union of everything CI would need: formatting and static analysis
+# (gofmt, go vet, the repo's own hermeslint vet pass), build, the full
+# test suite under the race detector (the placement engine is
+# concurrent — racy code must not land), and a one-shot smoke run of
+# the parallel speedup benchmark to prove the worker plumbing still
+# functions.
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench
+.PHONY: check lint vet fmt-check hermeslint build test race bench-smoke bench
 
-check: vet build race bench-smoke
+check: lint build race bench-smoke
+
+# Static analysis gate: gofmt (no unformatted files), go vet, and the
+# repo-specific hermeslint pass (mutex/Clone conventions around the
+# concurrent path oracle). `hermes lint` on the shipped examples keeps
+# the p4lite diagnostics demo honest: bad.p4 must fail, the clean
+# examples must pass.
+lint: fmt-check vet hermeslint
+	$(GO) run ./cmd/hermes lint examples/p4src/monitor.p4 examples/p4src/router.p4
+	@if $(GO) run ./cmd/hermes lint examples/p4src/bad.p4 >/dev/null 2>&1; then \
+		echo "bad.p4 must fail hermes lint" >&2; exit 1; \
+	else \
+		echo "hermes lint rejects bad.p4 (expected)"; \
+	fi
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+
+hermeslint:
+	$(GO) run ./cmd/hermeslint .
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hermes-net/hermes/internal/lint"
+	"github.com/hermes-net/hermes/internal/p4lite"
+)
+
+// runLint implements `hermes lint [flags] file.p4 [file.p4 ...]`: it
+// parses each p4lite source and reports the static diagnostics of
+// internal/lint. The exit status is non-zero iff any finding has
+// error severity (parse failures are HL000 errors).
+func runLint(args []string) error {
+	fs := flag.NewFlagSet("hermes lint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	budget := fs.Int("budget", lint.DefaultMetadataBudget,
+		"metadata byte budget for HL005 (negative disables the check)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: hermes lint [-json] [-budget N] file.p4 [file.p4 ...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return fmt.Errorf("lint: no input files")
+	}
+
+	var all lint.Findings
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("lint: %w", err)
+		}
+		all = append(all, lintSource(path, string(data), *budget)...)
+	}
+	all.Sort()
+
+	if *jsonOut {
+		data, err := all.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+	} else if text := all.Text(); text != "" {
+		fmt.Print(text)
+	}
+	if all.HasErrors() {
+		return fmt.Errorf("lint: %d finding(s), errors present", len(all))
+	}
+	fmt.Fprintf(os.Stderr, "hermes lint: %d finding(s), no errors\n", len(all))
+	return nil
+}
+
+// lintSource parses one source file and lints it. Parse failures
+// become HL000 findings carrying the parser's position so the
+// diagnostics stream stays uniform across good and broken inputs.
+func lintSource(path, src string, budget int) lint.Findings {
+	prog, info, err := p4lite.ParseSource(src)
+	if err != nil {
+		f := lint.Finding{Rule: "HL000", Severity: lint.Error, File: path,
+			Message: err.Error()}
+		var perr *p4lite.Error
+		if errors.As(err, &perr) {
+			f.Pos = p4lite.Pos{Line: perr.Line, Col: perr.Col}
+			f.Message = perr.Msg
+		}
+		return lint.Findings{f}
+	}
+	opts := lint.Options{File: path, Source: info}
+	if budget != lint.DefaultMetadataBudget {
+		opts.MetadataBudgetBytes = budget
+	}
+	return lint.LintProgram(prog, opts)
+}

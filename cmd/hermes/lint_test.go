@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/hermes-net/hermes/internal/lint"
+)
+
+func TestLintSourceParseFailure(t *testing.T) {
+	fs := lintSource("broken.p4", "program ; ;", lint.DefaultMetadataBudget)
+	if len(fs) != 1 || fs[0].Rule != "HL000" || fs[0].Severity != lint.Error {
+		t.Fatalf("parse failure must yield one HL000 error, got %v", fs)
+	}
+	if fs[0].Pos.IsZero() {
+		t.Fatalf("HL000 must carry the parser position, got %+v", fs[0])
+	}
+	if fs[0].File != "broken.p4" {
+		t.Fatalf("HL000 must carry the file name, got %+v", fs[0])
+	}
+}
+
+func TestLintSourceCleanAndDirty(t *testing.T) {
+	clean := `
+program ok;
+metadata m : 8;
+table t {
+  capacity 1;
+  action a { set m <- 1; }
+  default a;
+}
+table u {
+  key m : exact;
+  capacity 2;
+  action f { set meta.egress_port <- 1; }
+  default f;
+}
+`
+	fs := lintSource("ok.p4", clean, lint.DefaultMetadataBudget)
+	if fs.HasErrors() {
+		t.Fatalf("clean source must not produce errors:\n%s", fs.Text())
+	}
+
+	// JSON round-trips with rule IDs and positions intact.
+	data, err := fs.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("lint -json output must be valid JSON: %v", err)
+	}
+}
+
+func TestRunLintExitBehavior(t *testing.T) {
+	if err := runLint([]string{"../../examples/p4src/monitor.p4", "../../examples/p4src/router.p4"}); err != nil {
+		t.Fatalf("example programs must lint without errors: %v", err)
+	}
+	if err := runLint([]string{"-json", "../../examples/p4src/bad.p4"}); err == nil {
+		t.Fatal("bad.p4 has error findings; runLint must fail")
+	}
+	if err := runLint([]string{}); err == nil {
+		t.Fatal("no input files must be an error")
+	}
+	if err := runLint([]string{"missing.p4"}); err == nil {
+		t.Fatal("unreadable input must be an error")
+	}
+	// A permissive budget silences HL005, flipping bad.p4 to exit 0:
+	// HL005 is its only error-severity rule.
+	if err := runLint([]string{"-budget", "-1", "../../examples/p4src/bad.p4"}); err != nil {
+		t.Fatalf("bad.p4 with budget disabled has only warnings: %v", err)
+	}
+}

@@ -7,6 +7,7 @@
 //	hermes -workload real:6 -topology linear:3 -solver hermes
 //	hermes -workload synthetic:20 -topology table3:4 -solver all
 //	hermes -workload sketches:10 -topology linear:3 -json
+//	hermes lint -json examples/p4src/bad.p4
 //
 // Workloads:   real:N (N of the ten switch.p4-style programs),
 //
@@ -47,6 +48,9 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "lint" {
+		return runLint(args[1:])
+	}
 	fs := flag.NewFlagSet("hermes", flag.ContinueOnError)
 	workloadFlag := fs.String("workload", "real:4", "workload spec (real:N, synthetic:N, sketches:N, mixed:N, file:PATH, p4:FILE[,FILE...])")
 	topoFlag := fs.String("topology", "linear:3", "topology spec (linear:N, fattree:K, table3:I, wan:N,E)")

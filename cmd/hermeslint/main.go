@@ -1,0 +1,296 @@
+// Command hermeslint is a repo-specific vet pass for the concurrency
+// conventions introduced with the parallel placement engine: the
+// path-oracle caches guard shared maps with sync.(RW)Mutex, and the
+// Plan/Graph/Topology types expose Clone() for safe cross-goroutine
+// hand-off. Both idioms have silent failure modes that `go vet` does
+// not catch, so this tool flags them syntactically:
+//
+//	HV001  a function locks a mutex but never unlocks it (no paired
+//	       Unlock/RUnlock call, direct or deferred)           error
+//	HV002  defer mu.Lock() — almost always a typo for Unlock  error
+//	HV003  a return statement between a Lock and its
+//	       non-deferred Unlock leaks the lock on early exit   warning
+//	HV004  a Clone() result is discarded, so the caller keeps
+//	       mutating the shared original                       error
+//
+// It is deliberately x/tools-free: the analysis is a plain go/parser +
+// go/ast walk so it builds in hermetic environments with no module
+// cache. The price is that matching is syntactic (by selector chain
+// text, e.g. "c.mu"), which is exactly right for the conventions it
+// polices and keeps false positives near zero on this codebase.
+//
+// Usage: hermeslint [dir ...]   (default ".")
+// Exit status 1 iff any error-severity finding is reported.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+type vetFinding struct {
+	pos  token.Position
+	rule string
+	sev  string // "error" | "warning"
+	msg  string
+}
+
+func (f vetFinding) String() string {
+	return fmt.Sprintf("%s: %s %s: %s", f.pos, f.rule, f.sev, f.msg)
+}
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var files []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hermeslint:", err)
+			os.Exit(2)
+		}
+	}
+	sort.Strings(files)
+
+	var all []vetFinding
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hermeslint:", err)
+			os.Exit(2)
+		}
+		fs, err := lintGoSource(path, string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hermeslint:", err)
+			os.Exit(2)
+		}
+		all = append(all, fs...)
+	}
+
+	bad := false
+	for _, f := range all {
+		fmt.Println(f)
+		if f.sev == "error" {
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "hermeslint: %d file(s), %d finding(s)\n", len(files), len(all))
+}
+
+// lintGoSource parses one Go file and runs every rule over each
+// function body.
+func lintGoSource(path, src string) ([]vetFinding, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	var out []vetFinding
+	ast.Inspect(file, func(n ast.Node) bool {
+		fn, ok := n.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			return true
+		}
+		out = append(out, lintFunc(fset, fn)...)
+		return true
+	})
+	return out, nil
+}
+
+// lockEvent is one mutex or Clone call observed in a function body, in
+// source order.
+type lockEvent struct {
+	recv     string // rendered selector chain, e.g. "c.mu"
+	method   string // Lock, RLock, Unlock, RUnlock
+	deferred bool
+	pos      token.Pos
+}
+
+// lintFunc applies HV001–HV004 to a single function declaration.
+func lintFunc(fset *token.FileSet, fn *ast.FuncDecl) []vetFinding {
+	var (
+		events  []lockEvent
+		returns []token.Pos
+		out     []vetFinding
+	)
+	report := func(pos token.Pos, rule, sev, format string, args ...any) {
+		out = append(out, vetFinding{
+			pos: fset.Position(pos), rule: rule, sev: sev,
+			msg: fmt.Sprintf(format, args...),
+		})
+	}
+
+	var walk func(n ast.Node, deferred bool)
+	walk = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				walk(n.Call, true)
+				return false
+			case *ast.ReturnStmt:
+				returns = append(returns, n.Pos())
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Clone" && len(call.Args) == 0 {
+						report(n.Pos(), "HV004", "error",
+							"result of %s.Clone() is discarded; the caller keeps sharing the mutable original",
+							renderExpr(sel.X))
+					}
+				}
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Lock", "RLock", "Unlock", "RUnlock":
+					if len(n.Args) == 0 {
+						events = append(events, lockEvent{
+							recv: renderExpr(sel.X), method: sel.Sel.Name,
+							deferred: deferred, pos: n.Pos(),
+						})
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(fn.Body, false)
+
+	// HV002: locking in a defer runs at function exit — a typo for the
+	// matching Unlock.
+	for _, e := range events {
+		if e.deferred && (e.method == "Lock" || e.method == "RLock") {
+			report(e.pos, "HV002", "error",
+				"defer %s.%s() acquires the lock at function exit; did you mean %s?",
+				e.recv, e.method, unlockOf(e.method))
+		}
+	}
+
+	// HV001: per receiver and lock kind, Lock with no Unlock anywhere
+	// in the function (conditional unlocks still count as paired — the
+	// rule only fires when no release exists at all).
+	type kindKey struct {
+		recv string
+		r    bool // RLock/RUnlock flavor
+	}
+	locks := map[kindKey]lockEvent{}
+	unlocks := map[kindKey]bool{}
+	for _, e := range events {
+		switch e.method {
+		case "Lock":
+			if _, seen := locks[kindKey{e.recv, false}]; !seen {
+				locks[kindKey{e.recv, false}] = e
+			}
+		case "RLock":
+			if _, seen := locks[kindKey{e.recv, true}]; !seen {
+				locks[kindKey{e.recv, true}] = e
+			}
+		case "Unlock":
+			unlocks[kindKey{e.recv, false}] = true
+		case "RUnlock":
+			unlocks[kindKey{e.recv, true}] = true
+		}
+	}
+	keys := make([]kindKey, 0, len(locks))
+	for k := range locks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].recv != keys[j].recv {
+			return keys[i].recv < keys[j].recv
+		}
+		return !keys[i].r
+	})
+	for _, k := range keys {
+		if !unlocks[k] {
+			e := locks[k]
+			report(e.pos, "HV001", "error",
+				"%s.%s() in %s has no matching %s in the same function (lock hand-off must stay within one function)",
+				e.recv, e.method, fn.Name.Name, unlockOf(e.method))
+		}
+	}
+
+	// HV003: a return between a Lock and its nearest following
+	// non-deferred Unlock exits with the mutex held.
+	for i, e := range events {
+		if e.deferred || (e.method != "Lock" && e.method != "RLock") {
+			continue
+		}
+		want := unlockOf(e.method)
+		for j := i + 1; j < len(events); j++ {
+			u := events[j]
+			if u.recv != e.recv || u.method != want {
+				continue
+			}
+			if u.deferred {
+				break // released at exit: early returns are safe
+			}
+			for _, r := range returns {
+				if r > e.pos && r < u.pos {
+					report(r, "HV003", "warning",
+						"return between %s.%s() and its %s() leaks the lock on this path",
+						e.recv, e.method, want)
+				}
+			}
+			break
+		}
+	}
+	return out
+}
+
+func unlockOf(method string) string {
+	if method == "RLock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// renderExpr prints a selector/identifier chain ("c.mu",
+// "t.cache.mu"); anything unprintable collapses to "?" so matching
+// stays conservative.
+func renderExpr(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return renderExpr(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return renderExpr(e.X)
+	case *ast.IndexExpr:
+		return renderExpr(e.X) + "[...]"
+	case *ast.CallExpr:
+		return renderExpr(e.Fun) + "()"
+	case *ast.StarExpr:
+		return renderExpr(e.X)
+	default:
+		return "?"
+	}
+}

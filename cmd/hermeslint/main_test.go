@@ -1,0 +1,189 @@
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func lintSnippet(t *testing.T, body string) []vetFinding {
+	t.Helper()
+	src := "package p\n\nimport \"sync\"\n\nvar _ = sync.Mutex{}\n\n" + body
+	fs, err := lintGoSource("snippet.go", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fs
+}
+
+func rulesOf(fs []vetFinding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.rule)
+	}
+	return out
+}
+
+func TestLockWithoutUnlock(t *testing.T) {
+	fs := lintSnippet(t, `
+type c struct{ mu sync.Mutex }
+func (x *c) bad() { x.mu.Lock() }
+`)
+	if len(fs) != 1 || fs[0].rule != "HV001" || fs[0].sev != "error" {
+		t.Fatalf("want one HV001 error, got %v", fs)
+	}
+	if !strings.Contains(fs[0].msg, "x.mu.Lock()") {
+		t.Fatalf("finding must name the receiver chain: %v", fs[0])
+	}
+}
+
+func TestRLockNeedsRUnlock(t *testing.T) {
+	// Unlock does not satisfy an RLock: distinct kinds.
+	fs := lintSnippet(t, `
+type c struct{ mu sync.RWMutex }
+func (x *c) bad() { x.mu.RLock(); x.mu.Unlock() }
+`)
+	if got := rulesOf(fs); len(got) != 1 || got[0] != "HV001" {
+		t.Fatalf("want [HV001], got %v", got)
+	}
+}
+
+func TestDeferredUnlockIsPaired(t *testing.T) {
+	fs := lintSnippet(t, `
+type c struct{ mu sync.Mutex }
+func (x *c) good() int { x.mu.Lock(); defer x.mu.Unlock(); return 1 }
+`)
+	if len(fs) != 0 {
+		t.Fatalf("want no findings, got %v", fs)
+	}
+}
+
+func TestDeferLockTypo(t *testing.T) {
+	// The missing Unlock also trips HV001: both diagnostics point at
+	// the same typo.
+	fs := lintSnippet(t, `
+type c struct{ mu sync.Mutex }
+func (x *c) bad() { x.mu.Lock(); defer x.mu.Lock() }
+`)
+	got := rulesOf(fs)
+	if len(got) != 2 || got[0] != "HV002" || got[1] != "HV001" {
+		t.Fatalf("want [HV002 HV001], got %v", got)
+	}
+}
+
+func TestReturnBetweenLockAndUnlock(t *testing.T) {
+	fs := lintSnippet(t, `
+type c struct{ mu sync.Mutex; n int }
+func (x *c) bad(b bool) int {
+	x.mu.Lock()
+	if b {
+		return 0
+	}
+	x.mu.Unlock()
+	return x.n
+}
+`)
+	if got := rulesOf(fs); len(got) != 1 || got[0] != "HV003" {
+		t.Fatalf("want [HV003], got %v", got)
+	}
+	if fs[0].sev != "warning" {
+		t.Fatalf("HV003 must be a warning, got %v", fs[0])
+	}
+}
+
+func TestReturnAfterUnlockIsFine(t *testing.T) {
+	fs := lintSnippet(t, `
+type c struct{ mu sync.RWMutex; m map[int]int }
+func (x *c) good(k int) (int, bool) {
+	x.mu.RLock()
+	v, ok := x.m[k]
+	x.mu.RUnlock()
+	if ok {
+		return v, true
+	}
+	x.mu.Lock()
+	x.m[k] = 1
+	x.mu.Unlock()
+	return 1, false
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("want no findings on the oracle double-check pattern, got %v", fs)
+	}
+}
+
+func TestDiscardedClone(t *testing.T) {
+	fs := lintSnippet(t, `
+type g struct{}
+func (x *g) Clone() *g { return x }
+func bad(x *g) { x.Clone() }
+func good(x *g) *g { return x.Clone() }
+`)
+	if got := rulesOf(fs); len(got) != 1 || got[0] != "HV004" {
+		t.Fatalf("want [HV004], got %v", got)
+	}
+}
+
+func TestNestedSelectorChains(t *testing.T) {
+	// t.cache.mu and c.mu are distinct receivers.
+	fs := lintSnippet(t, `
+type inner struct{ mu sync.Mutex }
+type outer struct{ cache *inner }
+func bad(t *outer, c *inner) {
+	t.cache.mu.Lock()
+	c.mu.Unlock()
+}
+`)
+	got := rulesOf(fs)
+	if len(got) != 1 || got[0] != "HV001" {
+		t.Fatalf("want [HV001] for t.cache.mu, got %v", fs)
+	}
+	if !strings.Contains(fs[0].msg, "t.cache.mu") {
+		t.Fatalf("finding must name t.cache.mu: %v", fs[0])
+	}
+}
+
+// The repository itself must stay free of error-severity findings:
+// `make check` gates on the binary's exit status, and this test keeps
+// the guarantee visible from `go test ./...` alone.
+func TestRepoIsClean(t *testing.T) {
+	var checked int
+	err := filepath.WalkDir("../..", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if strings.HasPrefix(d.Name(), ".") && d.Name() != ".." && d.Name() != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		findings, err := lintGoSource(path, string(src))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		checked++
+		for _, f := range findings {
+			if f.sev == "error" {
+				t.Errorf("repo must lint clean: %v", f)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked < 50 {
+		t.Fatalf("walked only %d Go files; wrong root?", checked)
+	}
+}

@@ -1,0 +1,47 @@
+// A deliberately faulty program exercising the `hermes lint` rule
+// families. Every table below trips at least one diagnostic:
+//
+//   HL001  mangle/lonely are isolated (no dependency, no control path)
+//   HL002  spare/mark can never run (not default, no rule selects them)
+//   HL003  elephant_bad matches cnt before any MAT writes it
+//   HL004  unused_fld is declared but never referenced
+//   HL005  blowup writes 80B of metadata, over the 64B header budget
+//   HL009  scratch and big0..big4 are written but never read
+//   HL010  mangle has no key yet two actions: only the default runs
+//   HL011  elephant_bad installs no rules and no default action
+program bad;
+
+metadata cnt : 32;
+metadata unused_fld : 16;
+metadata scratch : 32;
+metadata big0 : 128;
+metadata big1 : 128;
+metadata big2 : 128;
+metadata big3 : 128;
+metadata big4 : 128;
+
+table mangle {
+  capacity 1;
+  action mix   { set scratch <- 1; }
+  action spare { set scratch <- 2; }
+  default mix;
+}
+
+table elephant_bad {
+  key cnt : range;
+  capacity 8;
+  action mark { set big0 <- 1; }
+}
+
+table blowup {
+  capacity 1;
+  action fill { set big0 <- 1; set big1 <- 2; set big2 <- 3; set big3 <- 4; set big4 <- 5; }
+  default fill;
+}
+
+table lonely {
+  key ipv4.ttl : exact;
+  capacity 4;
+  action keep { dec ipv4.ttl; }
+  default keep;
+}

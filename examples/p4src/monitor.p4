@@ -1,0 +1,34 @@
+// Flow monitoring: hash the flow key, count it, flag elephants.
+// `hermes lint` reports only informational notes on it (the heavy
+// flag is the program's externally-consumed result).
+program monitor;
+
+metadata idx : 32;
+metadata cnt : 32;
+metadata heavy : 8;
+
+table flow_hash {
+  capacity 1;
+  action mix { hash idx <- ipv4.srcAddr, ipv4.dstAddr, tcp.srcPort, tcp.dstPort; }
+  default mix;
+}
+
+table flow_count {
+  key idx : exact;
+  capacity 8192;
+  action bump { count cnt <- idx; }
+  default bump;
+}
+
+table elephant {
+  key cnt : range;
+  capacity 8;
+  action mark  { set heavy <- 1; }
+  action clear { set heavy <- 0; }
+  default clear;
+}
+
+control {
+  flow_hash -> flow_count;
+  flow_count -> elephant;
+}

@@ -1,0 +1,18 @@
+// L3 routing: LPM lookup, next-hop resolution, TTL decrement.
+program router;
+
+metadata nhop : 32;
+
+table lpm {
+  key ipv4.dstAddr : lpm;
+  capacity 16384;
+  action set_nhop { set nhop <- 1; dec ipv4.ttl; }
+  default set_nhop;
+}
+
+table next_hop {
+  key nhop : exact;
+  capacity 1024;
+  action fwd { set meta.egress_port <- 1; }
+  default fwd;
+}

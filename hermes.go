@@ -32,6 +32,7 @@ import (
 	"github.com/hermes-net/hermes/internal/deploy"
 	"github.com/hermes-net/hermes/internal/e2esim"
 	"github.com/hermes-net/hermes/internal/fields"
+	_ "github.com/hermes-net/hermes/internal/lint" // registers the lint hooks behind DeployOptions.Lint
 	"github.com/hermes-net/hermes/internal/network"
 	"github.com/hermes-net/hermes/internal/p4lite"
 	"github.com/hermes-net/hermes/internal/placement"
@@ -196,6 +197,11 @@ type DeployOptions struct {
 	Workers int
 	// Analyze tunes the program analysis step.
 	Analyze AnalyzeOptions
+	// Lint runs the static diagnostics engine (internal/lint) over the
+	// merged TDG after analysis and over the solver's plan before
+	// compilation, failing Deploy on error-severity findings. Importing
+	// package hermes registers the lint hooks.
+	Lint bool
 }
 
 // Result is the outcome of Deploy.
@@ -210,7 +216,9 @@ type Result struct {
 
 // Deploy runs the full Hermes pipeline: analyze → place → compile.
 func Deploy(progs []*Program, topo *Topology, opts DeployOptions) (*Result, error) {
-	g, err := analyzer.Analyze(progs, opts.Analyze)
+	aopts := opts.Analyze
+	aopts.Lint = aopts.Lint || opts.Lint
+	g, err := analyzer.Analyze(progs, aopts)
 	if err != nil {
 		return nil, fmt.Errorf("hermes: %w", err)
 	}
@@ -222,6 +230,7 @@ func Deploy(progs []*Program, topo *Topology, opts DeployOptions) (*Result, erro
 		Epsilon1: opts.Epsilon1,
 		Epsilon2: opts.Epsilon2,
 		Workers:  opts.Workers,
+		Lint:     opts.Lint,
 	}
 	if opts.SolverDeadline > 0 {
 		popts.Deadline = time.Now().Add(opts.SolverDeadline)
@@ -230,7 +239,7 @@ func Deploy(progs []*Program, topo *Topology, opts DeployOptions) (*Result, erro
 	if err != nil {
 		return nil, fmt.Errorf("hermes: %w", err)
 	}
-	dep, err := deploy.Compile(plan, opts.Analyze)
+	dep, err := deploy.Compile(plan, aopts)
 	if err != nil {
 		return nil, fmt.Errorf("hermes: %w", err)
 	}

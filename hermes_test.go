@@ -200,6 +200,21 @@ func TestEpsilonConstraintsThroughFacade(t *testing.T) {
 	}
 }
 
+func TestDeployWithLintGate(t *testing.T) {
+	// DeployOptions.Lint threads the diagnostics engine through both
+	// the analyzer (merged TDG rules) and the solver (plan invariant
+	// rules); a clean workload must pass end to end.
+	progs := facadeWorkload(t)
+	topo := facadeTopo(t)
+	res, err := hermes.Deploy(progs, topo, hermes.DeployOptions{Lint: true})
+	if err != nil {
+		t.Fatalf("lint-gated deploy of a clean workload must succeed: %v", err)
+	}
+	if res.Plan == nil || res.Deployment == nil {
+		t.Fatal("result incomplete")
+	}
+}
+
 func TestWorkloadHelpersThroughFacade(t *testing.T) {
 	if len(hermes.RealPrograms()) != 10 {
 		t.Error("RealPrograms != 10")

@@ -182,7 +182,8 @@ func (d *Deployment) Verify() error {
 	for name, sp := range d.Plan.Assignments {
 		cfg := d.Configs[sp.Switch]
 		if cfg == nil {
-			return fmt.Errorf("deploy: switch %d has no config but hosts %q", sp.Switch, name)
+			return fmt.Errorf("deploy: %s has no config but hosts MAT %q",
+				placement.SwitchLabel(d.Plan.Topo, sp.Switch), name)
 		}
 		total := 0.0
 		for _, st := range cfg.Stages {
@@ -193,22 +194,26 @@ func (d *Deployment) Verify() error {
 			}
 		}
 		if diff := total - sp.Total(); diff > 1e-9 || diff < -1e-9 {
-			return fmt.Errorf("deploy: MAT %q schedules %g of %g resources", name, total, sp.Total())
+			return fmt.Errorf("deploy: MAT %q on %s stages %d..%d schedules %g of %g resources",
+				name, placement.SwitchLabel(d.Plan.Topo, sp.Switch), sp.Start, sp.End, total, sp.Total())
 		}
 	}
 	// Headers bounded by the analyzer's per-pair byte counts.
 	pairBytes := d.Plan.PairBytes()
 	for key, hdr := range d.Headers {
 		if hdr.Bytes > pairBytes[key] {
-			return fmt.Errorf("deploy: header %v carries %d bytes, analysis bound is %d",
-				key, hdr.Bytes, pairBytes[key])
+			return fmt.Errorf("deploy: header %s -> %s carries %d bytes, analysis bound is %d",
+				placement.SwitchLabel(d.Plan.Topo, key.From), placement.SwitchLabel(d.Plan.Topo, key.To),
+				hdr.Bytes, pairBytes[key])
 		}
 		sum := 0
 		for _, f := range hdr.Fields {
 			sum += f.Bytes()
 		}
 		if hdr.Bytes != sum {
-			return fmt.Errorf("deploy: header %v declares %d bytes, fields sum to %d", key, hdr.Bytes, sum)
+			return fmt.Errorf("deploy: header %s -> %s declares %d bytes, fields sum to %d",
+				placement.SwitchLabel(d.Plan.Topo, key.From), placement.SwitchLabel(d.Plan.Topo, key.To),
+				hdr.Bytes, sum)
 		}
 	}
 	// Every communicating pair has a header.
@@ -217,7 +222,8 @@ func (d *Deployment) Verify() error {
 			continue
 		}
 		if _, ok := d.Headers[key]; !ok {
-			return fmt.Errorf("deploy: pair %v delivers %d bytes but has no header", key, bytes)
+			return fmt.Errorf("deploy: pair %s -> %s delivers %d bytes but has no header",
+				placement.SwitchLabel(d.Plan.Topo, key.From), placement.SwitchLabel(d.Plan.Topo, key.To), bytes)
 		}
 	}
 	return nil

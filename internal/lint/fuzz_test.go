@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/hermes-net/hermes/internal/p4lite"
+)
+
+// FuzzLint checks the engine's core robustness contract: any program
+// the frontend accepts must lint without panicking, and the findings
+// must serialize. The corpus seeds from the shipped examples so the
+// fuzzer mutates realistic programs (bad.p4 keeps the dirty paths
+// warm).
+func FuzzLint(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "p4src", "*.p4"))
+	if err != nil || len(paths) == 0 {
+		f.Fatalf("example corpus missing: %v (%d files)", err, len(paths))
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	f.Add("program p;")
+	f.Add("program p;\nmetadata m : 8;\ntable t { capacity 1; action a { set m <- 1; } default a; }")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, info, err := p4lite.ParseSource(src)
+		if err != nil {
+			return
+		}
+		fs := LintProgram(prog, Options{File: "fuzz.p4", Source: info})
+		fs.Sort()
+		if _, err := fs.JSON(); err != nil {
+			t.Fatalf("findings must serialize: %v", err)
+		}
+		// A second run must be deterministic.
+		again := LintProgram(prog, Options{File: "fuzz.p4", Source: info})
+		again.Sort()
+		if len(again) != len(fs) {
+			t.Fatalf("lint is nondeterministic: %d vs %d findings", len(fs), len(again))
+		}
+	})
+}

@@ -1,0 +1,404 @@
+package lint
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/hermes-net/hermes/internal/analyzer"
+	"github.com/hermes-net/hermes/internal/deploy"
+	"github.com/hermes-net/hermes/internal/network"
+	"github.com/hermes-net/hermes/internal/placement"
+	"github.com/hermes-net/hermes/internal/program"
+	"github.com/hermes-net/hermes/internal/tdg"
+)
+
+// resourceTol mirrors the numeric tolerance Plan.Validate applies to
+// requirement and capacity sums. The value is re-stated here on
+// purpose: the lint pass is an independent implementation and must not
+// share constants with the code it checks.
+const resourceTol = 1e-6
+
+// LintPlan re-implements every constraint of problem P#1 (Eq. 4–9)
+// from scratch and checks the plan against them, without calling
+// Plan.Validate. Findings with Oracle set correspond to constraints
+// Plan.Validate also enforces; CheckPlanOracle diffs the two verdicts.
+func LintPlan(p *placement.Plan, rm program.ResourceModel, eps1 time.Duration, eps2 int) Findings {
+	var fs Findings
+	if p == nil || p.Graph == nil || p.Topo == nil {
+		return Findings{{Rule: "HL000", Severity: Error, Message: "nil or incomplete plan", Oracle: true}}
+	}
+
+	fs = append(fs, lintDeploymentVars(p, rm)...)
+	fs = append(fs, lintStageCapacity(p)...)
+	fs = append(fs, lintEdgeConstraints(p)...)
+	fs = append(fs, lintSwitchDAG(p)...)
+	fs = append(fs, lintObjectives(p, eps1, eps2)...)
+	fs.Sort()
+	return fs
+}
+
+// lintDeploymentVars checks Eq. 6 node deployment and the Eq. 8 stage
+// window shape per MAT: every MAT lands on a programmable switch, in a
+// contiguous ρ_begin..ρ_end run inside the pipeline, with exactly its
+// requirement placed (HL101–HL103).
+func lintDeploymentVars(p *placement.Plan, rm program.ResourceModel) Findings {
+	var fs Findings
+	for _, n := range p.Graph.Nodes() {
+		name := n.Name()
+		sp, ok := p.Assignments[name]
+		if !ok {
+			fs = append(fs, Finding{Rule: "HL101", Severity: Error, Eq: 6, Oracle: true,
+				Object:  name,
+				Message: fmt.Sprintf("MAT %q has no placement (Eq. 6: every MAT must be deployed)", name),
+				Hint:    "the solver dropped the MAT; rerun with more capacity or fewer constraints"})
+			continue
+		}
+		sw, err := p.Topo.Switch(sp.Switch)
+		if err != nil {
+			fs = append(fs, Finding{Rule: "HL102", Severity: Error, Eq: 6, Oracle: true,
+				Object:  name,
+				Message: fmt.Sprintf("MAT %q assigned to unknown %s", name, placement.SwitchLabel(p.Topo, sp.Switch))})
+			continue
+		}
+		if !sw.Programmable {
+			fs = append(fs, Finding{Rule: "HL102", Severity: Error, Eq: 6, Oracle: true,
+				Object:  name,
+				Message: fmt.Sprintf("MAT %q assigned to non-programmable %s", name, placement.SwitchLabel(p.Topo, sp.Switch)),
+				Hint:    "only switches with P(u)=1 may host MATs"})
+			continue
+		}
+		if sp.Start < 0 || sp.End >= sw.Stages || sp.Start > sp.End {
+			fs = append(fs, Finding{Rule: "HL103", Severity: Error, Eq: 8, Oracle: true,
+				Object: name,
+				Message: fmt.Sprintf("MAT %q on %s occupies stage window [%d,%d] outside the pipeline 0..%d (ρ_begin/ρ_end)",
+					name, placement.SwitchLabel(p.Topo, sp.Switch), sp.Start, sp.End, sw.Stages-1)})
+			continue
+		}
+		if len(sp.PerStage) != sp.End-sp.Start+1 {
+			fs = append(fs, Finding{Rule: "HL103", Severity: Error, Eq: 8, Oracle: true,
+				Object: name,
+				Message: fmt.Sprintf("MAT %q on %s: per-stage slice has %d entries for stage window [%d,%d] (contiguity broken)",
+					name, placement.SwitchLabel(p.Topo, sp.Switch), len(sp.PerStage), sp.Start, sp.End)})
+			continue
+		}
+		total, negative := 0.0, false
+		for _, amt := range sp.PerStage {
+			if amt < -1e-12 {
+				negative = true
+			}
+			total += amt
+		}
+		if negative {
+			fs = append(fs, Finding{Rule: "HL103", Severity: Error, Eq: 6, Oracle: true,
+				Object:  name,
+				Message: fmt.Sprintf("MAT %q on %s has a negative per-stage amount", name, placement.SwitchLabel(p.Topo, sp.Switch))})
+			continue
+		}
+		if req := rm.Requirement(n.MAT); math.Abs(total-req) > resourceTol {
+			fs = append(fs, Finding{Rule: "HL103", Severity: Error, Eq: 6, Oracle: true,
+				Object: name,
+				Message: fmt.Sprintf("MAT %q on %s places %g of its required %g resources (Eq. 6: the full requirement must land)",
+					name, placement.SwitchLabel(p.Topo, sp.Switch), total, req)})
+		}
+	}
+	return fs
+}
+
+// lintStageCapacity re-accumulates per-stage loads and checks Eq. 9
+// (HL104). Assignments for MATs outside the graph are folded in too —
+// they consume real stages.
+func lintStageCapacity(p *placement.Plan) Findings {
+	type slot struct {
+		sw    network.SwitchID
+		stage int
+	}
+	load := map[slot]float64{}
+	for _, sp := range p.Assignments {
+		sw, err := p.Topo.Switch(sp.Switch)
+		if err != nil || !sw.Programmable {
+			continue // HL102 already covers it
+		}
+		for i, amt := range sp.PerStage {
+			load[slot{sp.Switch, sp.Start + i}] += amt
+		}
+	}
+	keys := make([]slot, 0, len(load))
+	for k := range load {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].sw != keys[j].sw {
+			return keys[i].sw < keys[j].sw
+		}
+		return keys[i].stage < keys[j].stage
+	})
+	var fs Findings
+	for _, k := range keys {
+		sw, err := p.Topo.Switch(k.sw)
+		if err != nil {
+			continue
+		}
+		if load[k] > sw.StageCapacity+resourceTol {
+			fs = append(fs, Finding{Rule: "HL104", Severity: Error, Eq: 9, Oracle: true,
+				Object: fmt.Sprintf("switch:%s", sw.Name),
+				Message: fmt.Sprintf("%s stage %d carries %g of capacity %g (Eq. 9)",
+					placement.SwitchLabel(p.Topo, k.sw), k.stage, load[k], sw.StageCapacity),
+				Hint: "spread the MATs across more stages or switches"})
+		}
+	}
+	return fs
+}
+
+// lintEdgeConstraints walks every TDG edge: co-located pairs must obey
+// intra-switch stage order (Eq. 8, HL105); cross-switch pairs need a
+// route connecting exactly their switches (Eq. 7, HL106), and the
+// route must traverse real links with a truthful latency (HL111 —
+// stricter than Plan.Validate, hence not an oracle finding).
+func lintEdgeConstraints(p *placement.Plan) Findings {
+	var fs Findings
+	for _, e := range p.Graph.Edges() {
+		sa, oka := p.Assignments[e.From]
+		sb, okb := p.Assignments[e.To]
+		if !oka || !okb {
+			continue // HL101 already covers it
+		}
+		if sa.Switch == sb.Switch {
+			if sa.End >= sb.Start {
+				fs = append(fs, Finding{Rule: "HL105", Severity: Error, Eq: 8, Oracle: true,
+					Object: e.From + "->" + e.To,
+					Message: fmt.Sprintf("co-located dependency %s->%s on %s: upstream ends in stage %d, downstream starts in stage %d (Eq. 8 needs ρ_end(a) < ρ_begin(b))",
+						e.From, e.To, placement.SwitchLabel(p.Topo, sa.Switch), sa.End, sb.Start)})
+			}
+			continue
+		}
+		key := placement.RouteKey{From: sa.Switch, To: sb.Switch}
+		path, ok := p.Routes[key]
+		if !ok {
+			fs = append(fs, Finding{Rule: "HL106", Severity: Error, Eq: 7, Oracle: true,
+				Object: e.From + "->" + e.To,
+				Message: fmt.Sprintf("cross-switch dependency %s->%s has no route %s -> %s (Eq. 7)",
+					e.From, e.To, placement.SwitchLabel(p.Topo, sa.Switch), placement.SwitchLabel(p.Topo, sb.Switch))})
+			continue
+		}
+		if len(path.Switches) == 0 || path.Switches[0] != sa.Switch || path.Switches[len(path.Switches)-1] != sb.Switch {
+			fs = append(fs, Finding{Rule: "HL106", Severity: Error, Eq: 7, Oracle: true,
+				Object: e.From + "->" + e.To,
+				Message: fmt.Sprintf("route for %s->%s does not connect %s to %s",
+					e.From, e.To, placement.SwitchLabel(p.Topo, sa.Switch), placement.SwitchLabel(p.Topo, sb.Switch))})
+			continue
+		}
+		fs = append(fs, lintRoutePhysical(p, key, path)...)
+	}
+	return fs
+}
+
+// lintRoutePhysical verifies a route hop by hop against the topology:
+// every consecutive pair must be an actual link, and the recorded
+// latency must equal the recomputed transit+link sum (HL111).
+func lintRoutePhysical(p *placement.Plan, key placement.RouteKey, path network.Path) Findings {
+	var fs Findings
+	obj := fmt.Sprintf("route:%d->%d", key.From, key.To)
+	var total time.Duration
+	for i, id := range path.Switches {
+		sw, err := p.Topo.Switch(id)
+		if err != nil {
+			return Findings{{Rule: "HL111", Severity: Error, Object: obj,
+				Message: fmt.Sprintf("route %s -> %s visits unknown switch %d",
+					placement.SwitchLabel(p.Topo, key.From), placement.SwitchLabel(p.Topo, key.To), id)}}
+		}
+		total += sw.TransitLatency
+		if i == 0 {
+			continue
+		}
+		link, ok := p.Topo.LinkBetween(path.Switches[i-1], id)
+		if !ok {
+			return Findings{{Rule: "HL111", Severity: Error, Object: obj,
+				Message: fmt.Sprintf("route %s -> %s hops %s -> %s without a link",
+					placement.SwitchLabel(p.Topo, key.From), placement.SwitchLabel(p.Topo, key.To),
+					placement.SwitchLabel(p.Topo, path.Switches[i-1]), placement.SwitchLabel(p.Topo, id))}}
+		}
+		total += link.Latency
+	}
+	if total != path.Latency {
+		fs = append(fs, Finding{Rule: "HL111", Severity: Error, Object: obj,
+			Message: fmt.Sprintf("route %s -> %s records latency %v, links and transit sum to %v",
+				placement.SwitchLabel(p.Topo, key.From), placement.SwitchLabel(p.Topo, key.To), path.Latency, total)})
+	}
+	return fs
+}
+
+// lintSwitchDAG contracts the TDG by switch assignment and verifies
+// the contraction is acyclic (HL110): a cyclic switch-level graph
+// admits no single packet traversal respecting all dependencies.
+func lintSwitchDAG(p *placement.Plan) Findings {
+	adj := map[network.SwitchID]map[network.SwitchID]bool{}
+	nodes := map[network.SwitchID]bool{}
+	for _, sp := range p.Assignments {
+		nodes[sp.Switch] = true
+	}
+	for _, e := range p.Graph.Edges() {
+		sa, oka := p.Assignments[e.From]
+		sb, okb := p.Assignments[e.To]
+		if !oka || !okb || sa.Switch == sb.Switch {
+			continue
+		}
+		if adj[sa.Switch] == nil {
+			adj[sa.Switch] = map[network.SwitchID]bool{}
+		}
+		adj[sa.Switch][sb.Switch] = true
+	}
+	indeg := map[network.SwitchID]int{}
+	for id := range nodes {
+		indeg[id] = 0
+	}
+	for _, tos := range adj {
+		for to := range tos {
+			indeg[to]++
+		}
+	}
+	var ready []network.SwitchID
+	for id := range nodes {
+		if indeg[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	done := 0
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		done++
+		for to := range adj[id] {
+			indeg[to]--
+			if indeg[to] == 0 {
+				ready = append(ready, to)
+			}
+		}
+	}
+	if done == len(nodes) {
+		return nil
+	}
+	var stuck []string
+	for id := range nodes {
+		if indeg[id] > 0 {
+			stuck = append(stuck, placement.SwitchLabel(p.Topo, id))
+		}
+	}
+	sort.Strings(stuck)
+	return Findings{{Rule: "HL110", Severity: Error, Oracle: true,
+		Message: fmt.Sprintf("switch-level dependency graph is cyclic among %v: no packet route can respect all dependencies", stuck),
+		Hint:    "co-locate the cycle's MATs or move one endpoint"}}
+}
+
+// lintObjectives recomputes A_max, t_e2e, and Q_occ from the raw
+// decision variables, checks the ε bounds (Eq. 4/5: HL107/HL108), and
+// diffs each recomputation against the Plan's own accessors (HL109).
+func lintObjectives(p *placement.Plan, eps1 time.Duration, eps2 int) Findings {
+	var fs Findings
+	// Recompute per-pair bytes from edges and assignments.
+	pair := map[placement.RouteKey]int{}
+	occ := map[network.SwitchID]bool{}
+	for _, sp := range p.Assignments {
+		occ[sp.Switch] = true
+	}
+	for _, e := range p.Graph.Edges() {
+		sa, oka := p.Assignments[e.From]
+		sb, okb := p.Assignments[e.To]
+		if !oka || !okb || sa.Switch == sb.Switch {
+			continue
+		}
+		pair[placement.RouteKey{From: sa.Switch, To: sb.Switch}] += e.MetadataBytes
+	}
+	amax := 0
+	var te2e time.Duration
+	for key, bytes := range pair {
+		if bytes > amax {
+			amax = bytes
+		}
+		if path, ok := p.Routes[key]; ok {
+			te2e += path.Latency
+		}
+	}
+	qocc := len(occ)
+
+	if eps1 > 0 && te2e > eps1 {
+		fs = append(fs, Finding{Rule: "HL107", Severity: Error, Eq: 4, Oracle: true,
+			Message: fmt.Sprintf("t_e2e %v exceeds ε1 %v (Eq. 4)", te2e, eps1)})
+	}
+	if eps2 > 0 && qocc > eps2 {
+		fs = append(fs, Finding{Rule: "HL108", Severity: Error, Eq: 5, Oracle: true,
+			Message: fmt.Sprintf("Q_occ %d exceeds ε2 %d (Eq. 5)", qocc, eps2)})
+	}
+	if got := p.AMax(); got != amax {
+		fs = append(fs, Finding{Rule: "HL109", Severity: Error,
+			Message: fmt.Sprintf("Plan.AMax() reports %dB, recomputation from assignments gives %dB", got, amax)})
+	}
+	if got := p.TE2E(); got != te2e {
+		fs = append(fs, Finding{Rule: "HL109", Severity: Error,
+			Message: fmt.Sprintf("Plan.TE2E() reports %v, recomputation from routes gives %v", got, te2e)})
+	}
+	if got := p.QOcc(); got != qocc {
+		fs = append(fs, Finding{Rule: "HL109", Severity: Error,
+			Message: fmt.Sprintf("Plan.QOcc() reports %d, recomputation from assignments gives %d", got, qocc)})
+	}
+	return fs
+}
+
+// CheckPlanOracle is the differential plan-invariant oracle: the
+// independent HL1xx re-implementation and the production validators
+// (Plan.Validate, then deploy.Compile + Deployment.Verify on plans
+// both accept) must agree. Any divergence — lint rejects what Validate
+// accepts, or vice versa — is returned as an error naming both
+// verdicts; solver tests run it over Greedy, Exact, and ILP output so
+// a bug in any solver or either checker surfaces as a lint failure.
+func CheckPlanOracle(p *placement.Plan, rm program.ResourceModel, eps1 time.Duration, eps2 int, aopts analyzer.Options) error {
+	fs := LintPlan(p, rm, eps1, eps2)
+	oracle := fs.OracleErrors()
+	verr := p.Validate(rm, eps1, eps2)
+	switch {
+	case verr == nil && len(oracle) > 0:
+		return fmt.Errorf("oracle divergence: Plan.Validate accepts the plan but lint rejects it:\n%s", oracle.Text())
+	case verr != nil && len(oracle) == 0:
+		return fmt.Errorf("oracle divergence: Plan.Validate rejects the plan (%v) but lint finds no oracle error", verr)
+	case verr != nil:
+		// Both reject: agreement.
+		return nil
+	}
+	// Both accept: the deployment backend must agree too.
+	dep, err := deploy.Compile(p, aopts)
+	if err != nil {
+		return fmt.Errorf("oracle divergence: plan passes Validate and lint but deploy.Compile fails: %w", err)
+	}
+	if err := dep.Verify(); err != nil {
+		return fmt.Errorf("oracle divergence: plan passes Validate and lint but Deployment.Verify fails: %w", err)
+	}
+	// Non-oracle strict findings (HL109/HL111) still indicate internal
+	// inconsistency even on Validate-clean plans.
+	var strict Findings
+	for _, f := range fs {
+		if !f.Oracle && f.Severity == Error {
+			strict = append(strict, f)
+		}
+	}
+	if len(strict) > 0 {
+		return fmt.Errorf("plan passes Validate but fails strict lint checks:\n%s", strict.Text())
+	}
+	return nil
+}
+
+// init registers the lint engine with the analyzer and the placement
+// solvers so their Options.Lint flags take effect for any importer of
+// this package. The hooks fail only on error-severity findings.
+func init() {
+	analyzer.GraphLintHook = func(g *tdg.Graph, opts analyzer.Options) error {
+		return LintGraph(g, Options{Analyzer: opts}).Err()
+	}
+	placement.PlanLintHook = func(p *placement.Plan, opts placement.Options) error {
+		rm := program.DefaultResourceModel
+		if opts.Resources != nil {
+			rm = *opts.Resources
+		}
+		return LintPlan(p, rm, opts.Epsilon1, opts.Epsilon2).Err()
+	}
+}

@@ -1,6 +1,33 @@
 package p4lite
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// corpusSeeds loads the shipped example programs as fuzz seeds so the
+// fuzzer starts from realistic inputs (including bad.p4, which parses
+// but lints dirty).
+func corpusSeeds(f *testing.F) []string {
+	f.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "p4src", "*.p4"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no example corpus found under examples/p4src")
+	}
+	var seeds []string
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, string(data))
+	}
+	return seeds
+}
 
 // FuzzParse checks that arbitrary input never panics the frontend and
 // that every accepted program is valid.
@@ -10,13 +37,32 @@ func FuzzParse(f *testing.F) {
 	f.Add("program p;\nmetadata m : 8;\ntable t { action a { set m <- 1; } }")
 	f.Add("table { } } {")
 	f.Add("// nothing")
+	for _, seed := range corpusSeeds(f) {
+		f.Add(seed)
+	}
 	f.Fuzz(func(t *testing.T, src string) {
-		prog, err := Parse(src)
+		prog, info, err := ParseSource(src)
 		if err != nil {
 			return
 		}
 		if verr := prog.Validate(); verr != nil {
 			t.Fatalf("Parse accepted invalid program: %v", verr)
+		}
+		if info == nil {
+			t.Fatal("ParseSource must return source info for accepted programs")
+		}
+		// Every recorded table position must refer to a real MAT.
+		mats := map[string]bool{}
+		for _, m := range prog.MATs {
+			mats[m.Name] = true
+		}
+		for name, pos := range info.Tables {
+			if !mats[name] {
+				t.Fatalf("source info records unknown table %q", name)
+			}
+			if pos.IsZero() {
+				t.Fatalf("table %q has no position", name)
+			}
 		}
 	})
 }

@@ -10,16 +10,29 @@ import (
 
 // Parse compiles p4lite source into a validated program.
 func Parse(src string) (*program.Program, error) {
-	p := &parser{lx: newLexer(src), declared: map[string]fields.Field{}}
+	prog, _, err := ParseSource(src)
+	return prog, err
+}
+
+// ParseSource compiles p4lite source and additionally returns the
+// Source map: positions for every table, action, and declared field,
+// plus which fields the source actually references. The lint engine
+// uses it to attach diagnostics to source positions.
+func ParseSource(src string) (*program.Program, *Source, error) {
+	p := &parser{lx: newLexer(src), declared: map[string]fields.Field{}, info: newSource()}
 	// Preload the standard catalog so programs can reference well-known
 	// header and metadata fields without declaring them.
 	for _, f := range fields.Catalog().Fields() {
 		p.declared[f.Name] = f
 	}
 	if err := p.advance(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return p.parseProgram()
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, p.info, nil
 }
 
 // parser is a recursive-descent parser over the token stream.
@@ -29,6 +42,7 @@ type parser struct {
 	declared map[string]fields.Field
 	builder  *program.Builder
 	progName string
+	info     *Source
 	// tables and actions are tracked for control-edge validation and
 	// for associating defaults.
 	tables map[string]bool
@@ -100,6 +114,8 @@ func (p *parser) parseProgram() (*program.Program, error) {
 	p.progName = name.text
 	p.builder = program.NewBuilder(name.text)
 	p.tables = map[string]bool{}
+	p.info.Program = name.text
+	p.info.ProgramPos = Pos{Line: name.line, Col: name.col}
 
 	for p.tok.kind != tokEOF {
 		switch {
@@ -160,6 +176,7 @@ func (p *parser) parseFieldDecl() error {
 			Msg: fmt.Sprintf("field %q redeclared with a different shape", f.Name)}
 	}
 	p.declared[f.Name] = f
+	p.info.FieldDecls[f.Name] = Pos{Line: nameTok.line, Col: nameTok.col}
 	return nil
 }
 
@@ -170,6 +187,7 @@ func (p *parser) lookupField(tok token) (fields.Field, error) {
 		return fields.Field{}, &Error{Line: tok.line, Col: tok.col,
 			Msg: fmt.Sprintf("unknown field %q (declare it with 'metadata' or 'header')", tok.text)}
 	}
+	p.info.FieldRefs[f.Name] = true
 	return f, nil
 }
 
@@ -186,6 +204,8 @@ func (p *parser) parseTable() error {
 			Msg: fmt.Sprintf("table %q redeclared", nameTok.text)}
 	}
 	p.tables[nameTok.text] = true
+	matName := p.progName + "/" + nameTok.text
+	p.info.Tables[matName] = Pos{Line: nameTok.line, Col: nameTok.col}
 	if err := p.expectSymbol("{"); err != nil {
 		return err
 	}
@@ -257,6 +277,7 @@ func (p *parser) parseTable() error {
 			if err != nil {
 				return err
 			}
+			p.info.Actions[matName+"."+actTok.text] = Pos{Line: actTok.line, Col: actTok.col}
 			ops, err := p.parseActionBody()
 			if err != nil {
 				return err

@@ -1,0 +1,88 @@
+package p4lite
+
+import "sort"
+
+// Pos is a 1-based source position from the p4lite lexer.
+type Pos struct {
+	Line int `json:"line"`
+	Col  int `json:"col"`
+}
+
+// IsZero reports whether the position is unset.
+func (p Pos) IsZero() bool { return p.Line == 0 && p.Col == 0 }
+
+// Source maps the entities of a parsed program back to their positions
+// in the p4lite text, plus the declaration/reference facts the compiled
+// program.Program no longer carries. The lint engine consumes it to
+// attach positions and to detect unused declarations.
+type Source struct {
+	// Program is the program name; ProgramPos is where it was declared.
+	Program    string
+	ProgramPos Pos
+	// Tables maps the full MAT name ("<program>/<table>") to the
+	// position of the table declaration.
+	Tables map[string]Pos
+	// Actions maps "<program>/<table>.<action>" to the action position.
+	Actions map[string]Pos
+	// FieldDecls maps each field declared in this source (catalog
+	// fields excluded) to its declaration position.
+	FieldDecls map[string]Pos
+	// FieldRefs records every field name referenced anywhere in the
+	// source after its declaration: keys, op operands, control edges.
+	FieldRefs map[string]bool
+}
+
+// newSource returns an empty source map.
+func newSource() *Source {
+	return &Source{
+		Tables:     map[string]Pos{},
+		Actions:    map[string]Pos{},
+		FieldDecls: map[string]Pos{},
+		FieldRefs:  map[string]bool{},
+	}
+}
+
+// TablePos returns the declaration position of the full MAT name.
+func (s *Source) TablePos(mat string) Pos {
+	if s == nil {
+		return Pos{}
+	}
+	return s.Tables[mat]
+}
+
+// ActionPos returns the position of "<mat>.<action>", falling back to
+// the table position when the action is unknown.
+func (s *Source) ActionPos(mat, action string) Pos {
+	if s == nil {
+		return Pos{}
+	}
+	if p, ok := s.Actions[mat+"."+action]; ok {
+		return p
+	}
+	return s.Tables[mat]
+}
+
+// FieldPos returns the declaration position of a field, zero for
+// catalog fields.
+func (s *Source) FieldPos(name string) Pos {
+	if s == nil {
+		return Pos{}
+	}
+	return s.FieldDecls[name]
+}
+
+// UnusedFields returns the declared-but-never-referenced field names,
+// sorted for deterministic reporting.
+func (s *Source) UnusedFields() []string {
+	if s == nil {
+		return nil
+	}
+	var out []string
+	for name := range s.FieldDecls {
+		if !s.FieldRefs[name] {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -185,7 +185,7 @@ func (e Exact) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Plan,
 	plan.SolverName = e.Name()
 	plan.SolveTime = time.Since(start)
 	plan.Proven = !st.capped
-	return plan, nil
+	return finishPlan(plan, opts)
 }
 
 // dfs explores assignments of order[i:].

@@ -107,7 +107,7 @@ func (gr Greedy) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Pla
 			}
 			plan.SolverName = gr.Name()
 			plan.SolveTime = time.Since(start)
-			return plan, nil
+			return finishPlan(plan, opts)
 		}
 		lastErr = err
 	}

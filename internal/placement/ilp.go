@@ -301,7 +301,7 @@ func (s ILP) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Plan, e
 				plan.SolverName = s.Name()
 				plan.SolveTime = time.Since(start)
 				plan.Proven = proven
-				return plan, nil
+				return finishPlan(plan, opts)
 			}
 		}
 		// No-good cut: forbid this exact assignment.

@@ -20,12 +20,26 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"time"
 
 	"github.com/hermes-net/hermes/internal/network"
 	"github.com/hermes-net/hermes/internal/program"
 	"github.com/hermes-net/hermes/internal/tdg"
 )
+
+// SwitchLabel renders a switch identifier together with its
+// human-readable name, e.g. `switch 3 ("core2")`. Validation errors
+// and the lint engine share it so diagnostics always carry the
+// offending switch identity.
+func SwitchLabel(t *network.Topology, id network.SwitchID) string {
+	if t != nil {
+		if sw, err := t.Switch(id); err == nil && sw.Name != "" {
+			return fmt.Sprintf("switch %d (%q)", id, sw.Name)
+		}
+	}
+	return fmt.Sprintf("switch %d", id)
+}
 
 // StagePlacement records where one MAT landed: a switch plus the
 // half-open run of stages [Start, End] it occupies, with the resource
@@ -240,7 +254,19 @@ func (p *Plan) switchDAGOrder() ([]network.SwitchID, error) {
 		sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
 	}
 	if len(out) != len(nodes) {
-		return nil, fmt.Errorf("placement: switch-level dependency graph is cyclic")
+		placed := make(map[network.SwitchID]bool, len(out))
+		for _, id := range out {
+			placed[id] = true
+		}
+		var stuck []string
+		for id := range nodes {
+			if !placed[id] {
+				stuck = append(stuck, SwitchLabel(p.Topo, id))
+			}
+		}
+		sort.Strings(stuck)
+		return nil, fmt.Errorf("placement: switch-level dependency graph is cyclic among %s",
+			strings.Join(stuck, ", "))
 	}
 	return out, nil
 }
@@ -274,8 +300,8 @@ func (p *Plan) Validate(rm program.ResourceModel, eps1 time.Duration, eps2 int) 
 			return fmt.Errorf("placement: MAT %q on non-programmable switch %q", n.Name(), sw.Name)
 		}
 		if sp.Start < 0 || sp.End >= sw.Stages || sp.Start > sp.End {
-			return fmt.Errorf("placement: MAT %q has stage range [%d,%d] outside 0..%d",
-				n.Name(), sp.Start, sp.End, sw.Stages-1)
+			return fmt.Errorf("placement: MAT %q on %s has stage range [%d,%d] outside 0..%d",
+				n.Name(), SwitchLabel(p.Topo, sp.Switch), sp.Start, sp.End, sw.Stages-1)
 		}
 		if len(sp.PerStage) != sp.End-sp.Start+1 {
 			return fmt.Errorf("placement: MAT %q per-stage slice length %d != range %d",
@@ -327,12 +353,12 @@ func (p *Plan) Validate(rm program.ResourceModel, eps1 time.Duration, eps2 int) 
 		key := RouteKey{From: sa.Switch, To: sb.Switch}
 		path, ok := p.Routes[key]
 		if !ok {
-			return fmt.Errorf("placement: cross-switch dependency %s->%s has no route %d->%d (Eq. 7)",
-				e.From, e.To, sa.Switch, sb.Switch)
+			return fmt.Errorf("placement: cross-switch dependency %s->%s has no route %s -> %s (Eq. 7)",
+				e.From, e.To, SwitchLabel(p.Topo, sa.Switch), SwitchLabel(p.Topo, sb.Switch))
 		}
 		if len(path.Switches) == 0 || path.Switches[0] != sa.Switch || path.Switches[len(path.Switches)-1] != sb.Switch {
-			return fmt.Errorf("placement: route for %s->%s does not connect %d to %d",
-				e.From, e.To, sa.Switch, sb.Switch)
+			return fmt.Errorf("placement: route for %s->%s does not connect %s to %s",
+				e.From, e.To, SwitchLabel(p.Topo, sa.Switch), SwitchLabel(p.Topo, sb.Switch))
 		}
 	}
 	// Global ordering feasibility.

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"fmt"
 	"runtime"
 	"time"
 
@@ -29,6 +30,28 @@ type Options struct {
 	// exploration). Zero or negative means GOMAXPROCS. Every worker
 	// count produces the same Plan.
 	Workers int
+	// Lint, when true, runs the registered PlanLintHook over every
+	// solver's final plan and fails the solve on error-severity
+	// findings. The internal/lint package registers the hook; with no
+	// hook registered the flag is a no-op.
+	Lint bool
+}
+
+// PlanLintHook is the static diagnostics hook solvers invoke on their
+// final plan when Options.Lint is set. internal/lint registers its
+// independent Eq. 4–9 re-implementation here; keeping the hook a
+// variable avoids an import cycle (lint depends on placement).
+var PlanLintHook func(*Plan, Options) error
+
+// finishPlan applies the lint hook (when enabled) before a solver
+// returns its plan.
+func finishPlan(p *Plan, opts Options) (*Plan, error) {
+	if opts.Lint && PlanLintHook != nil {
+		if err := PlanLintHook(p, opts); err != nil {
+			return nil, fmt.Errorf("placement: %s plan rejected by lint: %w", p.SolverName, err)
+		}
+	}
+	return p, nil
 }
 
 // resourceModel resolves the effective model.
