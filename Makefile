@@ -2,15 +2,16 @@
 # union of everything CI would need: formatting and static analysis
 # (gofmt, go vet, the repo's own hermeslint vet pass), build, the full
 # test suite under the race detector (the placement engine is
-# concurrent — racy code must not land), and a one-shot smoke run of
+# concurrent — racy code must not land), a one-shot smoke run of
 # the parallel speedup benchmark to prove the worker plumbing still
-# functions.
+# functions, and a small replan-baseline smoke run proving the
+# machine-readable bench output still emits.
 
 GO ?= go
 
-.PHONY: check lint vet fmt-check hermeslint build test race bench-smoke bench
+.PHONY: check lint vet fmt-check hermeslint build test race bench-smoke bench bench-json replan-smoke
 
-check: lint build race bench-smoke
+check: lint build race bench-smoke replan-smoke
 
 # Static analysis gate: gofmt (no unformatted files), go vet, and the
 # repo-specific hermeslint pass (mutex/Clone conventions around the
@@ -48,6 +49,17 @@ race:
 
 bench-smoke:
 	$(GO) test -run xxx -bench ParallelSpeedup -benchtime 1x .
+
+# Machine-readable replan baseline (Exp#7): BENCH_replan.json records
+# replan latency, moved MATs, and A_max degradation vs the cold solve,
+# so regressions in the incremental path are diffable across commits.
+bench-json:
+	$(GO) run ./cmd/hermes-bench -exp exp7 -json BENCH_replan.json -csv results
+
+# 10-program 1x smoke of the same path (seconds, not minutes).
+replan-smoke:
+	@mkdir -p results
+	$(GO) run ./cmd/hermes-bench -exp exp7 -programs 10 -json results/BENCH_replan_smoke.json
 
 # Full benchmark sweep (minutes; the Exp* benchmarks regenerate the
 # paper's figures).

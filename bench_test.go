@@ -11,6 +11,7 @@
 //	Figure 8   -> BenchmarkExp4EndToEnd
 //	Figure 9   -> BenchmarkExp5Scalability
 //	Exp#6      -> BenchmarkExp6Resources
+//	Exp#7      -> BenchmarkExp7Replan
 //
 // The experiment benchmarks run the heuristic comparison lineup (the
 // genuinely ILP-backed frameworks are exercised by cmd/hermes-bench,
@@ -198,6 +199,21 @@ func BenchmarkExp6Resources(b *testing.B) {
 		extra = res.HermesExtra
 	}
 	b.ReportMetric(extra, "hermes-extra-stage-units")
+}
+
+// BenchmarkExp7Replan regenerates the churn study: incremental
+// replanning after a single-switch drain, reporting the 50-program
+// speedup of the delta repair over the from-scratch solve.
+func BenchmarkExp7Replan(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Exp7(benchConfig(), 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = pts[len(pts)-1].Speedup
+	}
+	b.ReportMetric(speedup, "50prog-replan-speedup-x")
 }
 
 // overheadGap returns worstBaseline - hermes header bytes.

@@ -8,14 +8,20 @@
 //	hermes-bench -exp exp4    # Figure 8: end-to-end impact
 //	hermes-bench -exp exp5    # Figure 9: scalability
 //	hermes-bench -exp exp6    # switch resource consumption
+//	hermes-bench -exp exp7    # incremental replanning under churn
 //	hermes-bench -exp all
 //
 // Exp#2–Exp#5 iterate the ten Table III WAN topologies with up to 50
 // concurrent programs; expect minutes of runtime with -ilp enabled.
+//
+// -json PATH writes Exp#7's replan baseline as machine-readable JSON
+// (BENCH_replan.json), so CI can diff replan latency, migration cost,
+// and A_max degradation across commits.
 package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,13 +41,14 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("hermes-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig2, exp1, exp2, exp3, exp4, exp5, exp6, all")
-	programs := fs.Int("programs", 50, "concurrent programs for exp2-4")
+	exp := fs.String("exp", "all", "experiment: fig2, exp1, exp2, exp3, exp4, exp5, exp6, exp7, all")
+	programs := fs.Int("programs", 50, "concurrent programs for exp2-4 and exp7")
 	deadline := fs.Duration("deadline", 3*time.Second, "per-instance solver deadline for exact/ILP solvers")
 	ilp := fs.Bool("ilp", true, "run the genuinely ILP-backed comparison frameworks")
 	seed := fs.Int64("seed", 1, "workload seed")
 	workers := fs.Int("workers", 0, "concurrent experiment cells and solver parallelism (0 = GOMAXPROCS)")
 	csvDir := fs.String("csv", "", "also write CSV files into this directory")
+	jsonPath := fs.String("json", "", "write exp7's replan baseline as JSON to this path (e.g. BENCH_replan.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,10 +59,10 @@ func run(args []string) error {
 	cfg.IncludeILPFrameworks = *ilp
 	cfg.Workers = *workers
 
-	runner := &runner{cfg: cfg, programs: *programs, csvDir: *csvDir}
+	runner := &runner{cfg: cfg, programs: *programs, csvDir: *csvDir, jsonPath: *jsonPath}
 	todo := strings.Split(*exp, ",")
 	if *exp == "all" {
-		todo = []string{"fig2", "exp1", "exp2", "exp3", "exp4", "exp5", "exp6"}
+		todo = []string{"fig2", "exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7"}
 	}
 	for _, e := range todo {
 		if err := runner.run(strings.TrimSpace(e)); err != nil {
@@ -69,6 +76,7 @@ type runner struct {
 	cfg      experiments.Config
 	programs int
 	csvDir   string
+	jsonPath string
 	// exp2 results are shared by exp3 and exp4.
 	topoRows []experiments.TopoRow
 }
@@ -89,6 +97,8 @@ func (r *runner) run(exp string) error {
 		return r.exp5()
 	case "exp6":
 		return r.exp6()
+	case "exp7":
+		return r.exp7()
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
@@ -260,6 +270,84 @@ func (r *runner) exp6() error {
 			fmt.Sprintf("%.4f", res.HermesExtra),
 		},
 	})
+}
+
+// replanRowJSON is one Exp#7 row in the machine-readable baseline.
+type replanRowJSON struct {
+	Programs      int     `json:"programs"`
+	DrainedSwitch int     `json:"drained_switch"`
+	DisplacedMATs int     `json:"displaced_mats"`
+	ColdMs        float64 `json:"cold_ms"`
+	IncrementalMs float64 `json:"incremental_ms"`
+	Speedup       float64 `json:"speedup"`
+	MovedFull     int     `json:"moved_mats_full"`
+	MovedInc      int     `json:"moved_mats_incremental"`
+	DirtyMATs     int     `json:"dirty_mats"`
+	AMaxCold      int     `json:"amax_cold_bytes"`
+	AMaxInc       int     `json:"amax_incremental_bytes"`
+	AMaxRatio     float64 `json:"amax_ratio"`
+	FellBack      bool    `json:"fell_back"`
+}
+
+// replanBaselineJSON is the BENCH_replan.json document.
+type replanBaselineJSON struct {
+	Experiment string          `json:"experiment"`
+	Topology   int             `json:"topology"`
+	Seed       int64           `json:"seed"`
+	Rows       []replanRowJSON `json:"rows"`
+}
+
+func (r *runner) exp7() error {
+	fmt.Printf("## Exp#7: incremental replanning after a single-switch drain, Table III topology 1, up to %d programs\n", r.programs)
+	pts, err := experiments.Exp7(r.cfg, r.programs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-9s %-8s %-10s %-10s %-9s %-12s %-12s %-14s %s\n",
+		"programs", "drained", "cold", "inc", "speedup", "moved(full)", "moved(inc)", "A_max c/i", "path")
+	csvRows := [][]string{{"programs", "drained_switch", "displaced_mats", "cold_ms", "incremental_ms", "speedup",
+		"moved_mats_full", "moved_mats_incremental", "dirty_mats", "amax_cold_bytes", "amax_incremental_bytes", "amax_ratio", "fell_back"}}
+	doc := replanBaselineJSON{Experiment: "exp7", Topology: 1, Seed: r.cfg.Seed}
+	for _, p := range pts {
+		path := fmt.Sprintf("repair (%d dirty)", p.DirtyInc)
+		if p.FellBack {
+			path = "fallback"
+		}
+		fmt.Printf("  %-9d sw%-6d %-10s %-10s %-9.1f %-12d %-12d %4dB/%-4dB    %s\n",
+			p.Programs, int(p.Drained),
+			fmt.Sprintf("%.1fms", p.ColdMs), fmt.Sprintf("%.2fms", p.IncMs),
+			p.Speedup, p.MovedFull, p.MovedInc, p.ColdAMax, p.IncAMax, path)
+		csvRows = append(csvRows, []string{
+			strconv.Itoa(p.Programs), strconv.Itoa(int(p.Drained)), strconv.Itoa(p.DisplacedMATs),
+			fmt.Sprintf("%.3f", p.ColdMs), fmt.Sprintf("%.3f", p.IncMs), fmt.Sprintf("%.2f", p.Speedup),
+			strconv.Itoa(p.MovedFull), strconv.Itoa(p.MovedInc), strconv.Itoa(p.DirtyInc),
+			strconv.Itoa(p.ColdAMax), strconv.Itoa(p.IncAMax), fmt.Sprintf("%.4f", p.AMaxRatio),
+			strconv.FormatBool(p.FellBack),
+		})
+		doc.Rows = append(doc.Rows, replanRowJSON{
+			Programs: p.Programs, DrainedSwitch: int(p.Drained), DisplacedMATs: p.DisplacedMATs,
+			ColdMs: round3(p.ColdMs), IncrementalMs: round3(p.IncMs), Speedup: round3(p.Speedup),
+			MovedFull: p.MovedFull, MovedInc: p.MovedInc, DirtyMATs: p.DirtyInc,
+			AMaxCold: p.ColdAMax, AMaxInc: p.IncAMax, AMaxRatio: round3(p.AMaxRatio),
+			FellBack: p.FellBack,
+		})
+	}
+	fmt.Println()
+	if r.jsonPath != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(r.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing replan baseline: %w", err)
+		}
+		fmt.Printf("  replan baseline written to %s\n\n", r.jsonPath)
+	}
+	return r.writeCSV("exp7.csv", csvRows)
+}
+
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
 }
 
 func printSolverRow(res experiments.SolverResult) {

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -44,5 +45,25 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunCommaSeparatedList(t *testing.T) {
 	if err := run([]string{"-exp", "fig2,exp6", "-ilp=false"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunExp7JSONBaseline(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "BENCH_replan.json")
+	if err := run([]string{"-exp", "exp7", "-programs", "4", "-csv", dir, "-json", jsonPath}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"experiment": "exp7"`, `"speedup"`, `"amax_ratio"`, `"incremental_ms"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("replan baseline missing %s:\n%s", want, data)
+		}
+	}
+	if _, err := os.ReadFile(filepath.Join(dir, "exp7.csv")); err != nil {
+		t.Errorf("exp7 CSV not written: %v", err)
 	}
 }

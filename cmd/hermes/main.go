@@ -66,6 +66,8 @@ func run(args []string) error {
 	verify := fs.Bool("verify", false, "drive packets through the deployment and check equivalence")
 	report := fs.Bool("report", false, "print a per-switch operations report for each plan")
 	savePlan := fs.String("save-plan", "", "write the first solver's plan as JSON to this path")
+	drainFlag := fs.String("drain", "", "comma-separated switch IDs to drain after the solve, exercising the replan path")
+	replanFlag := fs.String("replan", "auto", "replan strategy when -drain is set (auto, incremental, full)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,6 +92,14 @@ func run(args []string) error {
 		return err
 	}
 	solvers, err := parseSolvers(*solverFlag)
+	if err != nil {
+		return err
+	}
+	drained, err := parseDrain(*drainFlag)
+	if err != nil {
+		return err
+	}
+	replanMode, err := hermes.ParseReplanMode(*replanFlag)
 	if err != nil {
 		return err
 	}
@@ -148,8 +158,42 @@ func run(args []string) error {
 			}
 			fmt.Printf("         verified over %d packets; on-wire header %dB\n", len(pkts), maxHdr)
 		}
+		if len(drained) > 0 {
+			ropts := hermes.ReplanOptions{
+				Options: placement.Options{Epsilon1: *eps1, Epsilon2: *eps2, Workers: *workers},
+				Mode:    replanMode,
+			}
+			newPlan, rep, err := hermes.ReplanWithOptions(res.Plan, solver, ropts, drained...)
+			if err != nil {
+				fmt.Printf("         replan(%v) failed: %v\n", replanMode, err)
+				continue
+			}
+			path := "full solve"
+			if rep.UsedRepair {
+				path = fmt.Sprintf("delta repair (%d dirty MATs)", rep.DirtyMATs)
+			} else if rep.FallbackReason != "" {
+				path = "fallback to full solve: " + rep.FallbackReason
+			}
+			fmt.Printf("         replan(%v) drained %v via %s in %v: moved %d MATs, A_max %dB -> %dB\n",
+				replanMode, drained, path, rep.TotalTime, rep.MovedMATs, res.Plan.AMax(), newPlan.AMax())
+		}
 	}
 	return nil
+}
+
+func parseDrain(spec string) ([]hermes.SwitchID, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []hermes.SwitchID
+	for _, part := range strings.Split(spec, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("drain spec %q: bad switch ID %q", spec, part)
+		}
+		out = append(out, hermes.SwitchID(id))
+	}
+	return out, nil
 }
 
 func parseWorkload(spec string, seed int64) ([]*hermes.Program, error) {

@@ -197,3 +197,21 @@ func TestRunReportAndSavePlan(t *testing.T) {
 		t.Error("saved plan missing assignments")
 	}
 }
+
+func TestRunDrainReplan(t *testing.T) {
+	// Drain a switch after the solve and exercise each replan mode.
+	for _, mode := range []string{"auto", "incremental", "full"} {
+		if err := run([]string{
+			"-workload", "real:2", "-topology", "linear:3",
+			"-solver", "hermes", "-drain", "0", "-replan", mode,
+		}); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+	}
+	if err := run([]string{"-drain", "zero"}); err == nil {
+		t.Error("bad drain spec accepted")
+	}
+	if err := run([]string{"-drain", "0", "-replan", "bogus"}); err == nil {
+		t.Error("bad replan mode accepted")
+	}
+}

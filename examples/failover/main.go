@@ -65,31 +65,31 @@ func run() error {
 	}
 	fmt.Printf("traffic: %d packets verified against single-box execution\n\n", len(pkts))
 
-	// Drain the busiest switch and replan.
+	// Drain the busiest switch and heal the live deployment in one
+	// step: incremental delta repair (full-solve fallback under
+	// ReplanAuto), recompile, re-verify — with the churn telemetry.
 	used := res.Plan.UsedSwitches()
 	drained := used[0]
 	fmt.Printf("=== Draining switch %d ===\n", drained)
-	newPlan, err := hermes.Replan(res.Plan, hermes.GreedySolver, hermes.SolveOptions{}, drained)
+	dep2, rep, err := hermes.Redeploy(res.Deployment, hermes.GreedySolver,
+		hermes.ReplanOptions{Mode: hermes.ReplanAuto}, hermes.AnalyzeOptions{}, drained)
 	if err != nil {
 		return err
 	}
-	moved, err := hermes.PlanDiff(res.Plan, newPlan)
-	if err != nil {
-		return err
+	path := "full solve"
+	if rep.UsedRepair {
+		path = fmt.Sprintf("delta repair, %d dirty MATs", rep.DirtyMATs)
 	}
-	fmt.Printf("replanned: %s\n", newPlan.Summary())
-	fmt.Printf("migration: %d of %d MATs moved\n", moved, res.TDG.NumNodes())
+	fmt.Printf("replanned: %s\n", dep2.Plan.Summary())
+	fmt.Printf("migration: %d of %d MATs moved via %s in %v\n",
+		rep.MovedMATs, res.TDG.NumNodes(), path, rep.TotalTime)
 
-	// Recompile and re-verify on the reduced substrate.
-	dep2, err := hermes.Deploy(progs, newPlan.Topo, hermes.DeployOptions{})
-	if err != nil {
-		return err
-	}
-	if _, err := hermes.VerifyEquivalence(dep2.Deployment, pkts); err != nil {
+	// Re-verify traffic on the reduced substrate.
+	if _, err := hermes.VerifyEquivalence(dep2, pkts); err != nil {
 		return err
 	}
 	fmt.Printf("traffic: re-verified %d packets on the drained topology (header %dB)\n",
-		len(pkts), dep2.Deployment.MaxHeaderBytes())
+		len(pkts), dep2.MaxHeaderBytes())
 	return nil
 }
 

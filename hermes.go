@@ -288,9 +288,48 @@ func NewController(dep *Deployment) (*Controller, error) {
 
 // Replan recomputes a deployment after draining programmable switches
 // (maintenance or partial failure); the drained switches keep
-// forwarding but host no MATs.
+// forwarding but host no MATs. By default it repairs the old plan
+// incrementally and only falls back to a full solve when the repair
+// violates the ε bounds or the quality ratio; use ReplanWithOptions to
+// pin the mode or inspect the churn telemetry.
 func Replan(old *Plan, solver Solver, opts SolveOptions, drained ...SwitchID) (*Plan, error) {
 	return placement.Replan(old, solver, opts, drained...)
+}
+
+// Replan strategies.
+type (
+	// ReplanMode selects incremental repair, full re-solve, or auto.
+	ReplanMode = placement.ReplanMode
+	// ReplanOptions extends SolveOptions with churn-path knobs.
+	ReplanOptions = placement.ReplanOptions
+	// ReplanReport is the churn telemetry of one replan.
+	ReplanReport = placement.ReplanReport
+)
+
+// Replan modes.
+const (
+	// ReplanAuto repairs incrementally, falling back to a full solve.
+	ReplanAuto = placement.ReplanAuto
+	// ReplanIncremental repairs incrementally or fails.
+	ReplanIncremental = placement.ReplanIncremental
+	// ReplanFull always re-solves from scratch.
+	ReplanFull = placement.ReplanFull
+)
+
+// ParseReplanMode converts the CLI spelling of a replan mode.
+func ParseReplanMode(s string) (ReplanMode, error) { return placement.ParseReplanMode(s) }
+
+// ReplanWithOptions is Replan with an explicit mode and churn
+// telemetry.
+func ReplanWithOptions(old *Plan, solver Solver, opts ReplanOptions, drained ...SwitchID) (*Plan, *ReplanReport, error) {
+	return placement.ReplanWithOptions(old, solver, opts, drained...)
+}
+
+// Redeploy replans a live deployment around drained switches and
+// recompiles the result: replan → compile → verify. aopts must be the
+// analyzer options the original deployment was compiled with.
+func Redeploy(dep *Deployment, solver Solver, opts ReplanOptions, aopts AnalyzeOptions, drained ...SwitchID) (*Deployment, *ReplanReport, error) {
+	return deploy.Redeploy(dep, solver, opts, aopts, drained...)
 }
 
 // PlanDiff reports how many MATs changed hosting switch between two

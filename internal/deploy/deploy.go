@@ -173,6 +173,32 @@ func Compile(plan *placement.Plan, opts analyzer.Options) (*Deployment, error) {
 	return d, nil
 }
 
+// Redeploy heals a live deployment around drained switches: it replans
+// the deployment's plan (incremental repair by default, per
+// opts.Mode), recompiles the result, and verifies the new configs.
+// aopts must be the analyzer options the original deployment was
+// compiled with, so header layouts stay consistent across the
+// migration. The returned report carries the churn telemetry (moved
+// MATs, repair-vs-fallback, latency); the old deployment is untouched,
+// so the controller can diff the two to stage the migration.
+func Redeploy(d *Deployment, solver placement.Solver, opts placement.ReplanOptions, aopts analyzer.Options, drained ...network.SwitchID) (*Deployment, *placement.ReplanReport, error) {
+	if d == nil || d.Plan == nil {
+		return nil, nil, fmt.Errorf("deploy: redeploy of nil deployment")
+	}
+	plan, rep, err := placement.ReplanWithOptions(d.Plan, solver, opts, drained...)
+	if err != nil {
+		return nil, rep, fmt.Errorf("deploy: redeploy: %w", err)
+	}
+	next, err := Compile(plan, aopts)
+	if err != nil {
+		return nil, rep, fmt.Errorf("deploy: redeploy: %w", err)
+	}
+	if err := next.Verify(); err != nil {
+		return nil, rep, fmt.Errorf("deploy: redeploy: %w", err)
+	}
+	return next, rep, nil
+}
+
 // Verify cross-checks the compiled deployment against the plan:
 // every assigned MAT appears in exactly the stages the plan dictates,
 // and header sizes per pair never exceed the plan's A(a,b) pair sums

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hermes-net/hermes/internal/network"
+	"github.com/hermes-net/hermes/internal/placement"
+	"github.com/hermes-net/hermes/internal/workload"
+)
+
+// --- Exp#7: incremental replanning under churn ---
+
+// ReplanPoint is one program-count row of the drain sweep: the same
+// drain event replanned from scratch (ReplanFull) and incrementally
+// (ReplanAuto), on the same cold plan.
+type ReplanPoint struct {
+	// Programs is the workload size.
+	Programs int
+	// Drained is the switch taken out of MAT hosting (the busiest
+	// switch of the cold plan — the worst-case drain).
+	Drained network.SwitchID
+	// DisplacedMATs is how many MATs the drain stranded.
+	DisplacedMATs int
+	// ColdMs and IncMs are the full-solve and incremental replan
+	// latencies in milliseconds.
+	ColdMs float64
+	IncMs  float64
+	// Speedup is ColdMs / IncMs.
+	Speedup float64
+	// MovedFull and MovedInc count MATs that changed switch versus the
+	// pre-drain plan under each strategy (the migration cost).
+	MovedFull int
+	MovedInc  int
+	// DirtyInc is the incremental repair's dirty-set size (displaced
+	// MATs plus the dependency frontier).
+	DirtyInc int
+	// ColdAMax and IncAMax are Eq. 1 after each replan.
+	ColdAMax int
+	IncAMax  int
+	// AMaxRatio is IncAMax / ColdAMax (1.0 = repair matches the cold
+	// solve; the acceptance bound is 1.1 at 50 programs).
+	AMaxRatio float64
+	// FellBack marks rows where the auto replan abandoned the repair
+	// and ran the full solver (IncMs then measures the fallback path).
+	FellBack bool
+}
+
+// Exp7 measures replanning after a single-switch drain on the first
+// Table III topology, sweeping the program count from 10 to programs
+// (the paper's evaluation sizes; 50 is the headline point). For each
+// count it solves cold with the greedy, drains the busiest switch of
+// that plan, and replans twice — full and incremental — off the same
+// pre-drain plan. Program counts evaluate concurrently under
+// cfg.Workers; rows come back in count order.
+func Exp7(cfg Config, programs int) ([]ReplanPoint, error) {
+	topo, err := network.TableIII(1, network.TofinoSpec())
+	if err != nil {
+		return nil, err
+	}
+	var counts []int
+	for n := 10; n <= programs; n += 10 {
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		counts = []int{programs}
+	}
+	cellWorkers := cfg.Workers
+	if cfg.workers() > 1 {
+		cellWorkers = 1
+	}
+	points := make([]ReplanPoint, len(counts))
+	errs := make([]error, len(counts))
+	runParallel(len(counts), cfg.workers(), func(i int) {
+		progs, err := workload.EvaluationPrograms(counts[i], cfg.Seed)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		inst, err := buildInstance(progs, topo)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		pt, err := replanPoint(inst, counts[i], cellWorkers)
+		if err != nil {
+			errs[i] = fmt.Errorf("experiments: exp7 at %d programs: %w", counts[i], err)
+			return
+		}
+		points[i] = *pt
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// replanPoint runs one drain event both ways.
+func replanPoint(inst *instance, programs, workers int) (*ReplanPoint, error) {
+	opts := placement.Options{Workers: workers}
+	cold, err := (placement.Greedy{}).Solve(inst.merged, inst.topo, opts)
+	if err != nil {
+		return nil, err
+	}
+	drained, displaced := busiestSwitch(cold)
+
+	full, fullRep, err := placement.ReplanWithOptions(cold, placement.Greedy{},
+		placement.ReplanOptions{Options: opts, Mode: placement.ReplanFull}, drained)
+	if err != nil {
+		return nil, err
+	}
+	inc, incRep, err := placement.ReplanWithOptions(cold, placement.Greedy{},
+		placement.ReplanOptions{Options: opts, Mode: placement.ReplanAuto}, drained)
+	if err != nil {
+		return nil, err
+	}
+
+	pt := &ReplanPoint{
+		Programs:      programs,
+		Drained:       drained,
+		DisplacedMATs: displaced,
+		ColdMs:        float64(fullRep.TotalTime) / float64(time.Millisecond),
+		IncMs:         float64(incRep.TotalTime) / float64(time.Millisecond),
+		MovedFull:     fullRep.MovedMATs,
+		MovedInc:      incRep.MovedMATs,
+		DirtyInc:      incRep.DirtyMATs,
+		ColdAMax:      full.AMax(),
+		IncAMax:       inc.AMax(),
+		FellBack:      !incRep.UsedRepair,
+	}
+	if pt.IncMs > 0 {
+		pt.Speedup = pt.ColdMs / pt.IncMs
+	}
+	if pt.ColdAMax > 0 {
+		pt.AMaxRatio = float64(pt.IncAMax) / float64(pt.ColdAMax)
+	} else if pt.IncAMax == 0 {
+		pt.AMaxRatio = 1
+	}
+	return pt, nil
+}
+
+// busiestSwitch returns the plan's most loaded switch (by hosted MATs;
+// ties break toward the smaller ID) and its MAT count — the drain that
+// displaces the most work.
+func busiestSwitch(p *placement.Plan) (network.SwitchID, int) {
+	load := map[network.SwitchID]int{}
+	for _, sp := range p.Assignments {
+		load[sp.Switch]++
+	}
+	var best network.SwitchID
+	bestN := -1
+	for u, n := range load {
+		if n > bestN || (n == bestN && u < best) {
+			best, bestN = u, n
+		}
+	}
+	return best, bestN
+}

@@ -155,6 +155,13 @@ func solverSpecs(cfg Config) []solverSpec {
 			useMerged: true,
 			ilpBacked: true,
 			run: func(g *tdg.Graph, topo *network.Topology, opts placement.Options) (*placement.Plan, error) {
+				// Seed the branch-and-bound incumbent with a full
+				// (deadline-free) greedy plan: a deadline-capped "Optimal"
+				// can then never report a worse A_max than the heuristic
+				// column next to it.
+				if warm, err := (placement.Greedy{}).Solve(g, topo, placement.Options{Workers: opts.Workers}); err == nil {
+					opts.Warm = warm
+				}
 				return (placement.Exact{}).Solve(g, topo, opts)
 			},
 			fallback: placement.Greedy{}.Solve,

@@ -154,7 +154,9 @@ func (e Exact) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Plan,
 	// objective: homogeneous capacities and no latency bound.
 	st.symmetry = homogeneous && opts.Epsilon1 == 0
 
-	// Warm start with the greedy heuristic to obtain a strong incumbent.
+	// Warm start with the greedy heuristic to obtain a strong incumbent
+	// (the greedy itself reuses opts.Warm when set, so a warm seed
+	// tightens this bound transitively).
 	if warm, err := (Greedy{}).Solve(g, topo, opts); err == nil {
 		st.bestA = warm.AMax()
 		st.bestSet = map[string]network.SwitchID{}
@@ -162,6 +164,18 @@ func (e Exact) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Plan,
 			st.bestSet[name] = sp.Switch
 		}
 		st.haveBest = true
+	}
+	// Seed opts.Warm directly as well: the contract is that a
+	// warm-started "Optimal" never reports worse than its seed, even
+	// when the heuristic errors out (or lands above the seed).
+	if assign, ok := warmSeed(g, topo, opts); ok {
+		if a := assignmentAMax(g, assign); !st.haveBest || a < st.bestA {
+			st.bestA = a
+			st.bestSet = assign
+			st.haveBest = true
+		}
+	}
+	if st.haveBest {
 		st.sharedBest.Store(int64(st.bestA))
 	}
 

@@ -53,6 +53,20 @@ func (gr Greedy) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Pla
 	if len(prog) == 0 {
 		return nil, fmt.Errorf("placement: no programmable switches")
 	}
+
+	// Warm path: a feasible seed plan replaces segmentation and anchor
+	// search entirely — the assignment is adopted as-is (fresh packing
+	// and routes on this topology) and only the local-search polish
+	// runs. An infeasible or absent seed falls through to the cold path.
+	if plan, ok := warmStart(g, topo, opts); ok {
+		if err := gr.polish(plan, opts, rm); err != nil {
+			return nil, err
+		}
+		plan.SolverName = gr.Name()
+		plan.SolveTime = time.Since(start)
+		return finishPlan(plan, opts)
+	}
+
 	refSwitch, err := topo.Switch(prog[0])
 	if err != nil {
 		return nil, err
@@ -89,21 +103,8 @@ func (gr Greedy) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Pla
 	for _, segs := range candidates {
 		plan, err := placeWithRefinement(g, topo, segs, opts, rm)
 		if err == nil {
-			if !gr.DisableImprove {
-				// Refinement: bounded local search over single-MAT moves.
-				// The improve budget (default 2s) always caps the search;
-				// a tighter Options.Deadline wins when set.
-				budget := gr.ImproveBudget
-				if budget <= 0 {
-					budget = 2 * time.Second
-				}
-				deadline := time.Now().Add(budget)
-				if !opts.Deadline.IsZero() && opts.Deadline.Before(deadline) {
-					deadline = opts.Deadline
-				}
-				if ierr := localImprove(plan, opts, rm, deadline); ierr != nil {
-					return nil, ierr
-				}
+			if perr := gr.polish(plan, opts, rm); perr != nil {
+				return nil, perr
 			}
 			plan.SolverName = gr.Name()
 			plan.SolveTime = time.Since(start)
@@ -112,6 +113,24 @@ func (gr Greedy) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Pla
 		lastErr = err
 	}
 	return nil, lastErr
+}
+
+// polish runs the bounded local-search refinement over single-MAT
+// moves. The improve budget (default 2s) always caps the search; a
+// tighter Options.Deadline wins when set.
+func (gr Greedy) polish(plan *Plan, opts Options, rm program.ResourceModel) error {
+	if gr.DisableImprove {
+		return nil
+	}
+	budget := gr.ImproveBudget
+	if budget <= 0 {
+		budget = 2 * time.Second
+	}
+	deadline := time.Now().Add(budget)
+	if !opts.Deadline.IsZero() && opts.Deadline.Before(deadline) {
+		deadline = opts.Deadline
+	}
+	return localImprove(plan, opts, rm, deadline)
 }
 
 // placeWithRefinement runs the placement loop, splitting segments that

@@ -27,10 +27,20 @@ import (
 // follows therefore reproduces the sequential first-improvement result
 // exactly for every worker count.
 func localImprove(p *Plan, opts Options, rm program.ResourceModel, deadline time.Time) error {
+	return localImproveFiltered(p, opts, rm, deadline, nil)
+}
+
+// localImproveFiltered is localImprove restricted to the named MATs
+// when only is non-nil: the delta-repair pass of Replan polishes just
+// the dirty set this way, leaving the untouched region's assignments
+// (and their pair bytes) as fixed context. The deadline is polled
+// through a counter-gated clock read, not per MAT.
+func localImproveFiltered(p *Plan, opts Options, rm program.ResourceModel, deadline time.Time, only map[string]bool) error {
 	st := newImproveState(p)
 	used := usedSwitches(st.assignMap)
 	bestA, bestCross := st.score()
 	workers := opts.workers()
+	poll := newDeadlinePoller(deadline, 32)
 
 	type candScore struct {
 		a, cross int
@@ -47,7 +57,10 @@ func localImprove(p *Plan, opts Options, rm program.ResourceModel, deadline time
 	for pass := 0; pass < maxPasses; pass++ {
 		improved := false
 		for xi, name := range st.names {
-			if !deadline.IsZero() && time.Now().After(deadline) {
+			if only != nil && !only[name] {
+				continue
+			}
+			if poll.Expired() {
 				break
 			}
 			cur := st.assign[xi]

@@ -35,6 +35,14 @@ type Options struct {
 	// findings. The internal/lint package registers the hook; with no
 	// hook registered the flag is a no-op.
 	Lint bool
+	// Warm seeds the solve with an existing plan over the same TDG.
+	// Greedy reuses the warm assignment outright (skipping segmentation)
+	// and only polishes it; Exact adopts it as the initial
+	// branch-and-bound incumbent, so a warm-started "Optimal" can never
+	// report a plan worse than its seed. A warm plan that is infeasible
+	// on the solve's topology (drained switches, changed capacities,
+	// different MAT set) is ignored and the solver runs cold.
+	Warm *Plan
 }
 
 // PlanLintHook is the static diagnostics hook solvers invoke on their
