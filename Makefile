@@ -4,14 +4,16 @@
 # test suite under the race detector (the placement engine is
 # concurrent — racy code must not land), a one-shot smoke run of
 # the parallel speedup benchmark to prove the worker plumbing still
-# functions, and a small replan-baseline smoke run proving the
-# machine-readable bench output still emits.
+# functions, a small replan-baseline smoke run proving the
+# machine-readable bench output still emits, and the core kernel smoke
+# gate proving the compiled scoring kernels hold their speed/alloc
+# floors over the retained map references.
 
 GO ?= go
 
-.PHONY: check lint vet fmt-check hermeslint build test race bench-smoke bench bench-json replan-smoke
+.PHONY: check lint vet fmt-check hermeslint build test race bench-smoke bench bench-json replan-smoke core-smoke bench-core-json bench-compare profile
 
-check: lint build race bench-smoke replan-smoke
+check: lint build race bench-smoke replan-smoke core-smoke
 
 # Static analysis gate: gofmt (no unformatted files), go vet, and the
 # repo-specific hermeslint pass (mutex/Clone conventions around the
@@ -60,6 +62,33 @@ bench-json:
 replan-smoke:
 	@mkdir -p results
 	$(GO) run ./cmd/hermes-bench -exp exp7 -programs 10 -json results/BENCH_replan_smoke.json
+
+# Machine-independent smoke gate over the compiled scoring kernels:
+# each kernel must beat its retained map-based reference by >=5x ns/op
+# and either allocate nothing or beat it >=10x allocs/op. Ratios are
+# measured in-process, so the gate holds on any machine.
+core-smoke:
+	$(GO) run ./cmd/hermes-bench -exp core -smoke
+
+# Regenerate the committed core kernel baseline (run on a quiet
+# machine; BENCH_core.json is what bench-compare diffs against).
+bench-core-json:
+	$(GO) run ./cmd/hermes-bench -exp core -json BENCH_core.json
+
+# Perf regression gate: fails if a compiled kernel regressed >10%
+# ns/op against the committed BENCH_core.json AND its in-run
+# map/compiled ratio degraded >10% (the dual condition filters out
+# machine-speed skew between the baseline host and this one).
+bench-compare:
+	$(GO) run ./cmd/hermes-bench -exp core -compare BENCH_core.json
+
+# CPU + heap profiles of the incremental replan path; inspect with
+# `go tool pprof results/cpu.pprof` / `go tool pprof results/mem.pprof`.
+profile:
+	@mkdir -p results
+	$(GO) run ./cmd/hermes-bench -exp exp7 -programs 20 \
+		-cpuprofile results/cpu.pprof -memprofile results/mem.pprof \
+		-json results/BENCH_replan_profile.json
 
 # Full benchmark sweep (minutes; the Exp* benchmarks regenerate the
 # paper's figures).

@@ -48,6 +48,7 @@ func ablationInstance(b *testing.B, opts analyzer.Options) (*placement.Plan, fun
 // BenchmarkAblationLocalImprove measures the greedy with and without
 // the local-search polish.
 func BenchmarkAblationLocalImprove(b *testing.B) {
+	b.ReportAllocs()
 	_, run := ablationInstance(b, analyzer.Options{})
 	var with, without int
 	for i := 0; i < b.N; i++ {
@@ -66,6 +67,7 @@ func BenchmarkAblationLocalImprove(b *testing.B) {
 // exist, so disabling the DP split loses feasibility outright —
 // reported as amax-without = -1.
 func BenchmarkAblationDPSplit(b *testing.B) {
+	b.ReportAllocs()
 	progs := workload.RealPrograms()
 	merged, err := analyzer.Analyze(progs, analyzer.Options{})
 	if err != nil {
@@ -95,6 +97,7 @@ func BenchmarkAblationDPSplit(b *testing.B) {
 
 // BenchmarkAblationCoalesce measures segment coalescing.
 func BenchmarkAblationCoalesce(b *testing.B) {
+	b.ReportAllocs()
 	_, run := ablationInstance(b, analyzer.Options{})
 	var with, without int
 	for i := 0; i < b.N; i++ {
@@ -110,6 +113,7 @@ func BenchmarkAblationCoalesce(b *testing.B) {
 // exactly the redundancy merging exists for): merging eliminates
 // redundant MATs, freeing resources and reducing forced splits.
 func BenchmarkAblationMerging(b *testing.B) {
+	b.ReportAllocs()
 	progs, err := workload.SketchSet(10, 1)
 	if err != nil {
 		b.Fatal(err)
@@ -138,6 +142,7 @@ func BenchmarkAblationMerging(b *testing.B) {
 // BenchmarkAblationIntersectMatch compares Algorithm 1's literal
 // ΣF_a^a sizing against the tighter F_a^a ∩ reads(b) reading.
 func BenchmarkAblationIntersectMatch(b *testing.B) {
+	b.ReportAllocs()
 	var literal, intersect int
 	for i := 0; i < b.N; i++ {
 		for _, opt := range []analyzer.Options{{}, {IntersectMatch: true}} {
@@ -166,6 +171,7 @@ func BenchmarkAblationIntersectMatch(b *testing.B) {
 // BenchmarkAblationRouteOptimizer compares shortest-path-only routing
 // against the k-shortest-path load spreader on a Table III WAN.
 func BenchmarkAblationRouteOptimizer(b *testing.B) {
+	b.ReportAllocs()
 	progs, err := workload.EvaluationPrograms(30, 1)
 	if err != nil {
 		b.Fatal(err)

@@ -48,6 +48,7 @@ func benchConfig() experiments.Config {
 // BenchmarkTableIMetadataCatalog regenerates Table I: the metadata
 // catalog with its per-switch sizes.
 func BenchmarkTableIMetadataCatalog(b *testing.B) {
+	b.ReportAllocs()
 	var total int
 	for i := 0; i < b.N; i++ {
 		cat := fields.Catalog()
@@ -72,6 +73,7 @@ func BenchmarkTableIMetadataCatalog(b *testing.B) {
 // BenchmarkTableIIITopologies regenerates the ten WAN topologies of
 // Table III.
 func BenchmarkTableIIITopologies(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for t := 1; t <= network.NumTableIII(); t++ {
 			tp, err := network.TableIII(t, network.TofinoSpec())
@@ -87,6 +89,7 @@ func BenchmarkTableIIITopologies(b *testing.B) {
 
 // BenchmarkFig2OverheadImpact regenerates Figure 2's series.
 func BenchmarkFig2OverheadImpact(b *testing.B) {
+	b.ReportAllocs()
 	var worst float64
 	for i := 0; i < b.N; i++ {
 		pts, err := experiments.Figure2()
@@ -105,6 +108,7 @@ func BenchmarkFig2OverheadImpact(b *testing.B) {
 
 // BenchmarkExp1Testbed regenerates Figure 5: the testbed comparison.
 func BenchmarkExp1Testbed(b *testing.B) {
+	b.ReportAllocs()
 	var gap int
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Exp1(benchConfig())
@@ -119,6 +123,7 @@ func BenchmarkExp1Testbed(b *testing.B) {
 // BenchmarkExp2Overhead regenerates Figure 6 on the first Table III
 // topology (the full ten-topology sweep lives in cmd/hermes-bench).
 func BenchmarkExp2Overhead(b *testing.B) {
+	b.ReportAllocs()
 	var gap int
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Exp2(benchConfig(), 50)
@@ -134,6 +139,7 @@ func BenchmarkExp2Overhead(b *testing.B) {
 // on one simulated instance: the Hermes heuristic itself is the unit
 // under measurement.
 func BenchmarkExp3ExecTime(b *testing.B) {
+	b.ReportAllocs()
 	progs, err := workload.EvaluationPrograms(50, 1)
 	if err != nil {
 		b.Fatal(err)
@@ -157,6 +163,7 @@ func BenchmarkExp3ExecTime(b *testing.B) {
 // BenchmarkExp4EndToEnd regenerates Figure 8: the end-to-end penalty of
 // each framework's overhead at 1024-byte packets.
 func BenchmarkExp4EndToEnd(b *testing.B) {
+	b.ReportAllocs()
 	flow := hermes.DefaultFlow(1024)
 	var worst float64
 	for i := 0; i < b.N; i++ {
@@ -177,6 +184,7 @@ func BenchmarkExp4EndToEnd(b *testing.B) {
 // BenchmarkExp5Scalability regenerates Figure 9's 10..50-program sweep
 // on topology 10.
 func BenchmarkExp5Scalability(b *testing.B) {
+	b.ReportAllocs()
 	var gap int
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Exp5(benchConfig())
@@ -190,6 +198,7 @@ func BenchmarkExp5Scalability(b *testing.B) {
 
 // BenchmarkExp6Resources regenerates the resource-consumption study.
 func BenchmarkExp6Resources(b *testing.B) {
+	b.ReportAllocs()
 	var extra float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Exp6(benchConfig())
@@ -205,6 +214,7 @@ func BenchmarkExp6Resources(b *testing.B) {
 // replanning after a single-switch drain, reporting the 50-program
 // speedup of the delta repair over the from-scratch solve.
 func BenchmarkExp7Replan(b *testing.B) {
+	b.ReportAllocs()
 	var speedup float64
 	for i := 0; i < b.N; i++ {
 		pts, err := experiments.Exp7(benchConfig(), 50)
@@ -239,6 +249,7 @@ func overheadGap(results []experiments.SolverResult) int {
 
 // BenchmarkAnalyzer measures Algorithm 1 on the 50-program workload.
 func BenchmarkAnalyzer(b *testing.B) {
+	b.ReportAllocs()
 	progs, err := workload.EvaluationPrograms(50, 1)
 	if err != nil {
 		b.Fatal(err)
@@ -253,6 +264,7 @@ func BenchmarkAnalyzer(b *testing.B) {
 
 // BenchmarkGreedySmall measures Algorithm 2 on the testbed instance.
 func BenchmarkGreedySmall(b *testing.B) {
+	b.ReportAllocs()
 	progs := workload.RealPrograms()
 	merged, err := hermes.Analyze(progs, hermes.AnalyzeOptions{})
 	if err != nil {
@@ -278,6 +290,7 @@ func BenchmarkGreedySmall(b *testing.B) {
 // of the workers=1 and workers=N lines is the solver's parallel
 // speedup on this machine.
 func BenchmarkParallelSpeedup(b *testing.B) {
+	b.ReportAllocs()
 	progs, err := workload.EvaluationPrograms(30, 1)
 	if err != nil {
 		b.Fatal(err)
@@ -292,6 +305,7 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 	}
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := (placement.Greedy{}).Solve(merged, topo, placement.Options{Workers: w}); err != nil {
 					b.Fatal(err)
@@ -304,6 +318,7 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 // BenchmarkExactSmall measures the branch & bound on the Figure 1
 // instance.
 func BenchmarkExactSmall(b *testing.B) {
+	b.ReportAllocs()
 	progs := workload.RealPrograms()[:4]
 	merged, err := hermes.Analyze(progs, hermes.AnalyzeOptions{})
 	if err != nil {
@@ -326,6 +341,7 @@ func BenchmarkExactSmall(b *testing.B) {
 // BenchmarkDataplaneThroughput measures packets/second through a
 // three-switch deployed pipeline.
 func BenchmarkDataplaneThroughput(b *testing.B) {
+	b.ReportAllocs()
 	progs := workload.RealPrograms()[:6]
 	spec := network.TestbedSpec()
 	spec.StageCapacity = 0.15
@@ -358,6 +374,7 @@ func progsAlias(ps []*hermes.Program) []*hermes.Program { return ps }
 
 // BenchmarkKShortestPaths measures Yen's algorithm on a Table III WAN.
 func BenchmarkKShortestPaths(b *testing.B) {
+	b.ReportAllocs()
 	tp, err := network.TableIII(1, network.TofinoSpec())
 	if err != nil {
 		b.Fatal(err)
@@ -372,6 +389,7 @@ func BenchmarkKShortestPaths(b *testing.B) {
 
 // BenchmarkMergeFiftyPrograms measures SPEED-style TDG merging.
 func BenchmarkMergeFiftyPrograms(b *testing.B) {
+	b.ReportAllocs()
 	progs, err := workload.EvaluationPrograms(50, 1)
 	if err != nil {
 		b.Fatal(err)

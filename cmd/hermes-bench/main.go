@@ -16,7 +16,13 @@
 //
 // -json PATH writes Exp#7's replan baseline as machine-readable JSON
 // (BENCH_replan.json), so CI can diff replan latency, migration cost,
-// and A_max degradation across commits.
+// and A_max degradation across commits. With -exp core, -json writes
+// the kernel/end-to-end perf baseline (BENCH_core.json) instead; see
+// core.go for the -compare and -smoke gates.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the
+// selected experiments, for `go tool pprof` analysis of the solver hot
+// paths.
 package main
 
 import (
@@ -25,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -41,14 +49,18 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("hermes-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig2, exp1, exp2, exp3, exp4, exp5, exp6, exp7, all")
+	exp := fs.String("exp", "all", "experiment: fig2, exp1, exp2, exp3, exp4, exp5, exp6, exp7, core, all")
 	programs := fs.Int("programs", 50, "concurrent programs for exp2-4 and exp7")
 	deadline := fs.Duration("deadline", 3*time.Second, "per-instance solver deadline for exact/ILP solvers")
 	ilp := fs.Bool("ilp", true, "run the genuinely ILP-backed comparison frameworks")
 	seed := fs.Int64("seed", 1, "workload seed")
 	workers := fs.Int("workers", 0, "concurrent experiment cells and solver parallelism (0 = GOMAXPROCS)")
 	csvDir := fs.String("csv", "", "also write CSV files into this directory")
-	jsonPath := fs.String("json", "", "write exp7's replan baseline as JSON to this path (e.g. BENCH_replan.json)")
+	jsonPath := fs.String("json", "", "write exp7's replan baseline (or -exp core's perf baseline) as JSON to this path")
+	comparePath := fs.String("compare", "", "with -exp core: diff against this committed baseline, failing on >10% compiled-kernel ns/op regressions")
+	smoke := fs.Bool("smoke", false, "with -exp core: enforce the machine-independent compiled-vs-map ratio floors and skip end-to-end runs")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this path")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken after the selected experiments to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,7 +71,20 @@ func run(args []string) error {
 	cfg.IncludeILPFrameworks = *ilp
 	cfg.Workers = *workers
 
-	runner := &runner{cfg: cfg, programs: *programs, csvDir: *csvDir, jsonPath: *jsonPath}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("creating cpu profile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	runner := &runner{cfg: cfg, programs: *programs, csvDir: *csvDir,
+		jsonPath: *jsonPath, comparePath: *comparePath, smoke: *smoke}
 	todo := strings.Split(*exp, ",")
 	if *exp == "all" {
 		todo = []string{"fig2", "exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7"}
@@ -69,14 +94,28 @@ func run(args []string) error {
 			return err
 		}
 	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("creating mem profile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("writing mem profile: %w", err)
+		}
+	}
 	return nil
 }
 
 type runner struct {
-	cfg      experiments.Config
-	programs int
-	csvDir   string
-	jsonPath string
+	cfg         experiments.Config
+	programs    int
+	csvDir      string
+	jsonPath    string
+	comparePath string
+	smoke       bool
 	// exp2 results are shared by exp3 and exp4.
 	topoRows []experiments.TopoRow
 }
@@ -99,6 +138,8 @@ func (r *runner) run(exp string) error {
 		return r.exp6()
 	case "exp7":
 		return r.exp7()
+	case "core":
+		return r.core()
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

@@ -12,6 +12,9 @@
 //	       non-deferred Unlock leaks the lock on early exit   warning
 //	HV004  a Clone() result is discarded, so the caller keeps
 //	       mutating the shared original                       error
+//	HV005  a map-based scoring call (PairBytes, AMax, the *Ref
+//	       twins, ...) inside a loop tagged //hermes:hot — hot
+//	       loops must use the compiled kernels               error
 //
 // It is deliberately x/tools-free: the analysis is a plain go/parser +
 // go/ast walk so it builds in hermetic environments with no module
@@ -108,7 +111,7 @@ func main() {
 // function body.
 func lintGoSource(path, src string) ([]vetFinding, error) {
 	fset := token.NewFileSet()
-	file, err := parser.ParseFile(fset, path, src, parser.SkipObjectResolution)
+	file, err := parser.ParseFile(fset, path, src, parser.SkipObjectResolution|parser.ParseComments)
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +124,93 @@ func lintGoSource(path, src string) ([]vetFinding, error) {
 		out = append(out, lintFunc(fset, fn)...)
 		return true
 	})
+	out = append(out, lintHotLoops(fset, file)...)
 	return out, nil
+}
+
+// hotBanned is the map-based scoring surface: the retained reference
+// implementations and the Plan/TDG convenience accessors that allocate
+// maps or hash names per call. None of them belong inside a loop the
+// author tagged //hermes:hot — that is what the compiled kernels
+// (AssignmentAMax, MoveScore, PlaceScore, FillPairTable, ...) are for.
+var hotBanned = map[string]bool{
+	"PairBytes":         true,
+	"PairBytesUncached": true,
+	"PairBytesRef":      true,
+	"AMax":              true,
+	"TE2E":              true,
+	"TotalCrossBytes":   true,
+	"WireBytes":         true,
+	"MaxWireBytes":      true,
+	"CrossEdges":        true,
+	"AssignmentAMaxRef": true,
+	"MoveScoreRef":      true,
+	"PlaceScoreRef":     true,
+	"assignmentAMax":    true,
+	"assignmentLatency": true,
+	"assignmentAcyclic": true,
+}
+
+// lintHotLoops applies HV005: inside a for/range loop whose lead
+// comment carries the //hermes:hot tag, every call resolving (by name)
+// to the map-based scoring surface is an error. Matching is syntactic,
+// like the rest of this tool: the tag marks intent, and a hot loop
+// that hashes MAT names per iteration defeats the compiled-instance
+// fast path no matter which receiver it goes through.
+func lintHotLoops(fset *token.FileSet, file *ast.File) []vetFinding {
+	cm := ast.NewCommentMap(fset, file, file.Comments)
+	var out []vetFinding
+	seen := map[token.Pos]bool{} // dedupe calls under nested tagged loops
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+		default:
+			return true
+		}
+		if !hasHotTag(cm[n]) {
+			return true
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok || seen[call.Pos()] {
+				return true
+			}
+			var name, shown string
+			switch fun := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+				shown = renderExpr(fun.X) + "." + name
+			case *ast.Ident:
+				name = fun.Name
+				shown = name
+			default:
+				return true
+			}
+			if hotBanned[name] {
+				seen[call.Pos()] = true
+				out = append(out, vetFinding{
+					pos: fset.Position(call.Pos()), rule: "HV005", sev: "error",
+					msg: fmt.Sprintf("%s() is map-based scoring inside a //hermes:hot loop; use the compiled-instance kernel instead", shown),
+				})
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// hasHotTag reports whether any comment group associated with a loop
+// contains the //hermes:hot tag.
+func hasHotTag(groups []*ast.CommentGroup) bool {
+	for _, g := range groups {
+		for _, c := range g.List {
+			if strings.Contains(c.Text, "hermes:hot") {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // lockEvent is one mutex or Clone call observed in a function body, in

@@ -146,6 +146,85 @@ func bad(t *outer, c *inner) {
 	}
 }
 
+func TestHotLoopFlagsMapScoring(t *testing.T) {
+	fs := lintSnippet(t, `
+type plan struct{}
+func (p *plan) PairBytes() map[int]int { return nil }
+func bad(p *plan) {
+	//hermes:hot
+	for i := 0; i < 8; i++ {
+		_ = p.PairBytes()
+	}
+}
+`)
+	if got := rulesOf(fs); len(got) != 1 || got[0] != "HV005" {
+		t.Fatalf("want [HV005], got %v", fs)
+	}
+	if fs[0].sev != "error" || !strings.Contains(fs[0].msg, "p.PairBytes()") {
+		t.Fatalf("HV005 must be an error naming the call: %v", fs[0])
+	}
+}
+
+func TestHotLoopFlagsPlainRefCalls(t *testing.T) {
+	// The banned surface includes package-level reference functions
+	// called without a receiver, in range loops too.
+	fs := lintSnippet(t, `
+func assignmentAMax(a map[string]int) int { return 0 }
+func bad(items []map[string]int) int {
+	total := 0
+	//hermes:hot
+	for _, a := range items {
+		total += assignmentAMax(a)
+	}
+	return total
+}
+`)
+	if got := rulesOf(fs); len(got) != 1 || got[0] != "HV005" {
+		t.Fatalf("want [HV005], got %v", fs)
+	}
+}
+
+func TestUntaggedLoopMayUseMapScoring(t *testing.T) {
+	// Without the tag the rule stays silent: map-based scoring is the
+	// sanctioned boundary API everywhere that is not hot.
+	fs := lintSnippet(t, `
+type plan struct{}
+func (p *plan) AMax() int { return 0 }
+func fine(p *plan) int {
+	total := 0
+	for i := 0; i < 8; i++ {
+		total += p.AMax()
+	}
+	return total
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("want no findings on untagged loop, got %v", fs)
+	}
+}
+
+func TestHotLoopCompiledKernelsAllowed(t *testing.T) {
+	// The compiled kernels are exactly what a hot loop should call.
+	fs := lintSnippet(t, `
+type ci struct{}
+func (c *ci) PlaceScore(a, b int) int { return 0 }
+func (c *ci) MoveScore(a, b int) int  { return 0 }
+func good(c *ci) int {
+	best := 0
+	//hermes:hot
+	for u := 0; u < 8; u++ {
+		if s := c.PlaceScore(0, u) + c.MoveScore(u, 0); s > best {
+			best = s
+		}
+	}
+	return best
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("want no findings on compiled kernels, got %v", fs)
+	}
+}
+
 // The repository itself must stay free of error-severity findings:
 // `make check` gates on the binary's exit status, and this test keeps
 // the guarantee visible from `go test ./...` alone.

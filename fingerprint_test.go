@@ -1,0 +1,127 @@
+package hermes_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	hermes "github.com/hermes-net/hermes"
+	"github.com/hermes-net/hermes/internal/network"
+	"github.com/hermes-net/hermes/internal/placement"
+	"github.com/hermes-net/hermes/internal/workload"
+)
+
+// planFingerprint flattens a plan to a stable, comparable string:
+// A_max plus the sorted MAT→switch assignment. Byte-identical plans
+// produce identical fingerprints across processes and builds, so the
+// logged values double as a cross-version regression oracle for the
+// solver rewrites (same A_max, same assignments).
+func planFingerprint(p *placement.Plan) string {
+	parts := make([]string, 0, len(p.Assignments))
+	for name, sp := range p.Assignments {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, sp.Switch))
+	}
+	sort.Strings(parts)
+	return fmt.Sprintf("amax=%dB %s", p.AMax(), strings.Join(parts, " "))
+}
+
+// fingerprintInstance builds the Table III instance used throughout
+// the solver-identity checks.
+func fingerprintInstance(t *testing.T, topoID, programs int) (*placement.Plan, func(workers int) *placement.Plan) {
+	t.Helper()
+	progs, err := workload.EvaluationPrograms(programs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := hermes.Analyze(progs, hermes.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := network.TableIII(topoID, network.TofinoSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	solve := func(workers int) *placement.Plan {
+		plan, err := (placement.Greedy{}).Solve(merged, topo, placement.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("topo %d workers %d: %v", topoID, workers, err)
+		}
+		return plan
+	}
+	return solve(1), solve
+}
+
+// TestGreedyPlanFingerprints pins the greedy solver's output on the
+// first Table III topologies: serial and parallel runs must produce
+// byte-identical plans, and the logged fingerprints let any two builds
+// of the solver be diffed for plan identity.
+func TestGreedyPlanFingerprints(t *testing.T) {
+	for topoID := 1; topoID <= 3; topoID++ {
+		serial, solve := fingerprintInstance(t, topoID, 30)
+		fp := planFingerprint(serial)
+		t.Logf("greedy topo%d: %s", topoID, fp)
+		for _, workers := range []int{2, 8} {
+			if got := planFingerprint(solve(workers)); got != fp {
+				t.Fatalf("topo %d: workers=%d plan differs from serial:\n%s\nvs\n%s", topoID, workers, got, fp)
+			}
+		}
+	}
+}
+
+// TestReplanPlanFingerprints pins the delta-repair output after a
+// busiest-switch drain on topology 1.
+func TestReplanPlanFingerprints(t *testing.T) {
+	cold, _ := fingerprintInstance(t, 1, 30)
+	loads := map[network.SwitchID]int{}
+	for _, sp := range cold.Assignments {
+		loads[sp.Switch]++
+	}
+	drain, best := network.SwitchID(-1), -1
+	for u, n := range loads {
+		if n > best || (n == best && u < drain) {
+			drain, best = u, n
+		}
+	}
+	repaired, report, err := placement.ReplanWithOptions(cold, placement.Greedy{}, placement.ReplanOptions{}, drain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, err := placement.Diff(cold, repaired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("replan topo1 drain=%d repair=%v moved=%d: %s", drain, report.UsedRepair, moved, planFingerprint(repaired))
+}
+
+// TestExactPlanFingerprints pins the branch & bound on the Figure 1
+// instance; serial and parallel searches must agree exactly (both run
+// to completion: no deadline, default node cap, Proven=true).
+func TestExactPlanFingerprints(t *testing.T) {
+	progs := workload.RealPrograms()[:4]
+	merged, err := hermes.Analyze(progs, hermes.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := network.TestbedSpec()
+	spec.StageCapacity = 0.15
+	topo, err := network.Linear(3, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solve := func(workers int) *placement.Plan {
+		plan, err := (placement.Exact{}).Solve(merged, topo, placement.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plan.Proven {
+			t.Fatal("exact search did not run to completion")
+		}
+		return plan
+	}
+	fp := planFingerprint(solve(1))
+	t.Logf("exact figure1: %s", fp)
+	if got := planFingerprint(solve(8)); got != fp {
+		t.Fatalf("parallel exact differs from serial:\n%s\nvs\n%s", got, fp)
+	}
+}

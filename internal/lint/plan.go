@@ -29,6 +29,10 @@ func LintPlan(p *placement.Plan, rm program.ResourceModel, eps1 time.Duration, e
 	if p == nil || p.Graph == nil || p.Topo == nil {
 		return Findings{{Rule: "HL000", Severity: Error, Message: "nil or incomplete plan", Oracle: true}}
 	}
+	// The mutation tests tamper with Assignments in place; HL109's
+	// accessor cross-check must see the live plan, not a memoized pair
+	// table from before the tampering.
+	p.InvalidateCache()
 
 	fs = append(fs, lintDeploymentVars(p, rm)...)
 	fs = append(fs, lintStageCapacity(p)...)

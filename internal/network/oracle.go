@@ -71,6 +71,10 @@ type pathCache struct {
 	sssp map[SwitchID]*ssspTree
 	ksp  map[[2]SwitchID]*kspEntry
 	near map[SwitchID][]progCand
+	// lat is the dense S×S shortest-path latency matrix served by
+	// LatencyTable; built once from the sssp trees and treated as
+	// immutable until the next invalidation.
+	lat []time.Duration
 
 	hits, misses, invalidations atomic.Uint64
 }
@@ -93,8 +97,52 @@ func (c *pathCache) invalidate() {
 	c.sssp = map[SwitchID]*ssspTree{}
 	c.ksp = map[[2]SwitchID]*kspEntry{}
 	c.near = map[SwitchID][]progCand{}
+	c.lat = nil
 	c.mu.Unlock()
 	c.invalidations.Add(1)
+}
+
+// LatencyTable returns the dense shortest-path latency matrix: entry
+// [src*S+dst] equals ShortestPath(src, dst).Latency (transit latencies
+// of every switch on the path included), or -1 when dst is unreachable
+// from src. The slice is cached until the topology mutates and must be
+// treated as read-only; index-space consumers (the compiled placement
+// kernels) use it to replace per-pair Dijkstra queries with one load.
+func (t *Topology) LatencyTable() []time.Duration {
+	n := len(t.switches)
+	c := t.cache
+	if c != nil {
+		c.mu.RLock()
+		lat := c.lat
+		c.mu.RUnlock()
+		if lat != nil {
+			c.hits.Add(1)
+			return lat
+		}
+		c.misses.Add(1)
+	}
+	lat := make([]time.Duration, n*n)
+	for src := 0; src < n; src++ {
+		tree := t.ssspFrom(SwitchID(src))
+		row := lat[src*n : (src+1)*n]
+		for dst := 0; dst < n; dst++ {
+			if tree.dist[dst] == infDist {
+				row[dst] = -1
+			} else {
+				row[dst] = time.Duration(tree.dist[dst])
+			}
+		}
+	}
+	if c != nil {
+		c.mu.Lock()
+		if c.lat != nil {
+			lat = c.lat
+		} else {
+			c.lat = lat
+		}
+		c.mu.Unlock()
+	}
+	return lat
 }
 
 // PathCacheStats returns the oracle's hit/miss/invalidation counters.

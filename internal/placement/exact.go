@@ -27,26 +27,51 @@ var _ Solver = (*Exact)(nil)
 // Name implements Solver.
 func (Exact) Name() string { return "Optimal" }
 
-// exactState carries the mutable search state.
+// exactState carries the mutable search state over the compiled
+// instance. The assignment, per-switch loads, pair-byte matrix, and
+// contracted switch graph are all dense arrays indexed by the
+// CompiledInstance's MAT/switch index spaces, so one search node costs
+// a few array stores plus an append to the shared undo stack — no map
+// hashing, no per-node allocation (the undo stack and reachability
+// scratch amortize).
 type exactState struct {
-	g     *tdg.Graph
-	topo  *network.Topology
-	opts  Options
-	order []string
-	cands []network.SwitchID
+	ci   *CompiledInstance
+	opts Options
+	// orderIdx/orderReq are TopoSort order translated to MAT indices
+	// with R(a) precomputed; cands is the programmable-switch list.
+	orderIdx []int32
+	orderReq []float64
+	cands    []network.SwitchID
+	eps2     int
 
-	assign   map[string]network.SwitchID
-	load     map[network.SwitchID]float64
-	caps     map[network.SwitchID]float64
-	pair     map[RouteKey]int
+	assign []int32   // per MAT, -1 when unassigned
+	load   []float64 // per switch
+	// pair is the flat S×S cross-byte matrix; pairLive replicates the
+	// map entry lifecycle exactly (an entry exists from its first add
+	// until a subtraction leaves it ≤0 — a zero-byte edge keeps its
+	// pair alive for the ε1 sum, just like the map it replaces). swCnt
+	// counts contributing edges per cell: the contracted switch graph
+	// used for cycle pruning. active/inActive track ever-touched cells
+	// so leaf scans stay O(pairs).
+	pair     []int32
+	pairLive []bool
+	swCnt    []int32
+	active   []int32
+	inActive []bool
 	curMax   int
 	distinct int
 
-	// contracted switch graph for cycle pruning.
-	swAdj map[network.SwitchID]map[network.SwitchID]int
+	// Shared undo stack: each dfs candidate records a frame base and
+	// pops back to it, replacing the per-node undo log allocation.
+	undoCell []int32
+	undoByte []int32
+
+	// reachability scratch.
+	seen  []bool
+	stack []int32
 
 	bestA    int
-	bestSet  map[string]network.SwitchID
+	bestSet  []int32
 	haveBest bool
 
 	// localNodes paces the deadline poll; sharedNodes is the global
@@ -68,33 +93,68 @@ type exactState struct {
 	symmetry bool
 }
 
+// newExactState sizes the dense arrays for the instance.
+func newExactState(ci *CompiledInstance, opts Options) *exactState {
+	s := int(ci.S)
+	st := &exactState{
+		ci:       ci,
+		opts:     opts,
+		assign:   make([]int32, len(ci.Names)),
+		load:     make([]float64, s),
+		pair:     make([]int32, s*s),
+		pairLive: make([]bool, s*s),
+		swCnt:    make([]int32, s*s),
+		inActive: make([]bool, s*s),
+		seen:     make([]bool, s),
+		stack:    make([]int32, 0, s),
+		bestA:    int(^uint(0) >> 1), // max int
+	}
+	for i := range st.assign {
+		st.assign[i] = -1
+	}
+	return st
+}
+
 // clone deep-copies the mutable search state (assignment, loads, pair
-// bytes, contracted switch graph); immutable inputs and the shared
-// atomics are carried over by reference. bestSet is shared too: it is
-// only ever replaced wholesale, never mutated in place.
+// matrix, contracted switch graph); the compiled instance and the
+// shared atomics are carried over by reference. bestSet is shared too:
+// it is only ever replaced wholesale, never mutated in place.
 func (st *exactState) clone() *exactState {
 	c := *st
-	c.assign = make(map[string]network.SwitchID, len(st.assign))
-	for k, v := range st.assign {
-		c.assign[k] = v
-	}
-	c.load = make(map[network.SwitchID]float64, len(st.load))
-	for k, v := range st.load {
-		c.load[k] = v
-	}
-	c.pair = make(map[RouteKey]int, len(st.pair))
-	for k, v := range st.pair {
-		c.pair[k] = v
-	}
-	c.swAdj = make(map[network.SwitchID]map[network.SwitchID]int, len(st.swAdj))
-	for k, m := range st.swAdj {
-		inner := make(map[network.SwitchID]int, len(m))
-		for k2, v := range m {
-			inner[k2] = v
-		}
-		c.swAdj[k] = inner
-	}
+	c.assign = append([]int32(nil), st.assign...)
+	c.load = append([]float64(nil), st.load...)
+	c.pair = append([]int32(nil), st.pair...)
+	c.pairLive = append([]bool(nil), st.pairLive...)
+	c.swCnt = append([]int32(nil), st.swCnt...)
+	c.active = append([]int32(nil), st.active...)
+	c.inActive = append([]bool(nil), st.inActive...)
+	c.undoCell = nil
+	c.undoByte = nil
+	c.seen = make([]bool, len(st.seen))
+	c.stack = make([]int32, 0, cap(st.stack))
 	return &c
+}
+
+// addPair folds bytes into a pair cell and bumps the contracted-graph
+// edge count.
+func (st *exactState) addPair(cell, bytes int32) {
+	if !st.inActive[cell] {
+		st.inActive[cell] = true
+		st.active = append(st.active, cell)
+	}
+	st.pair[cell] += bytes
+	st.pairLive[cell] = true
+	st.swCnt[cell]++
+}
+
+// subPair reverses one addPair (LIFO), retiring the pair when its
+// bytes decay to zero — the dense twin of the map's delete-on-≤0.
+func (st *exactState) subPair(cell, bytes int32) {
+	st.pair[cell] -= bytes
+	if st.pair[cell] <= 0 {
+		st.pairLive[cell] = false
+	}
+	st.swCnt[cell]--
 }
 
 // Solve implements Solver.
@@ -114,21 +174,20 @@ func (e Exact) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Plan,
 	if len(prog) == 0 {
 		return nil, fmt.Errorf("placement: no programmable switches")
 	}
-	st := &exactState{
-		g:        g,
-		topo:     topo,
-		opts:     opts,
-		order:    order,
-		cands:    prog,
-		assign:   map[string]network.SwitchID{},
-		load:     map[network.SwitchID]float64{},
-		caps:     map[network.SwitchID]float64{},
-		pair:     map[RouteKey]int{},
-		swAdj:    map[network.SwitchID]map[network.SwitchID]int{},
-		bestA:    int(^uint(0) >> 1), // max int
-		maxNodes: e.MaxNodes,
-		deadline: opts.Deadline,
+	rm := opts.resourceModel()
+	ci := Compile(g, topo, rm)
+	st := newExactState(ci, opts)
+	st.orderIdx = make([]int32, len(order))
+	st.orderReq = make([]float64, len(order))
+	for i, name := range order {
+		x := ci.Index[name]
+		st.orderIdx[i] = x
+		st.orderReq[i] = ci.Req[x]
 	}
+	st.cands = prog
+	st.eps2 = opts.epsilon2(len(prog))
+	st.maxNodes = e.MaxNodes
+	st.deadline = opts.Deadline
 	if st.maxNodes <= 0 {
 		st.maxNodes = 4 << 20
 	}
@@ -142,7 +201,6 @@ func (e Exact) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Plan,
 		if err != nil {
 			return nil, err
 		}
-		st.caps[id] = sw.Capacity()
 		if s0 == nil {
 			s0 = sw
 		} else if sw.Stages != s0.Stages || sw.StageCapacity != s0.StageCapacity {
@@ -159,19 +217,17 @@ func (e Exact) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Plan,
 	// tightens this bound transitively).
 	if warm, err := (Greedy{}).Solve(g, topo, opts); err == nil {
 		st.bestA = warm.AMax()
-		st.bestSet = map[string]network.SwitchID{}
-		for name, sp := range warm.Assignments {
-			st.bestSet[name] = sp.Switch
-		}
+		st.bestSet = ci.PlanAssign(warm)
 		st.haveBest = true
 	}
 	// Seed opts.Warm directly as well: the contract is that a
 	// warm-started "Optimal" never reports worse than its seed, even
 	// when the heuristic errors out (or lands above the seed).
 	if assign, ok := warmSeed(g, topo, opts); ok {
-		if a := assignmentAMax(g, assign); !st.haveBest || a < st.bestA {
+		dense := ci.DenseAssign(assign)
+		if a := ci.AssignmentAMax(dense, ci.NewPairTable()); !st.haveBest || a < st.bestA {
 			st.bestA = a
-			st.bestSet = assign
+			st.bestSet = dense
 			st.haveBest = true
 		}
 	}
@@ -179,7 +235,7 @@ func (e Exact) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Plan,
 		st.sharedBest.Store(int64(st.bestA))
 	}
 
-	if workers := opts.workers(); workers > 1 && len(st.order) > 1 {
+	if workers := opts.workers(); workers > 1 && len(st.orderIdx) > 1 {
 		searchParallel(st, workers)
 	} else {
 		st.dfs(0)
@@ -202,7 +258,7 @@ func (e Exact) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Plan,
 	return finishPlan(plan, opts)
 }
 
-// dfs explores assignments of order[i:].
+// dfs explores assignments of orderIdx[i:].
 func (st *exactState) dfs(i int) {
 	total := st.sharedNodes.Add(1)
 	st.localNodes++
@@ -213,68 +269,63 @@ func (st *exactState) dfs(i int) {
 		st.capped = true
 		return
 	}
-	if i == len(st.order) {
+	if i == len(st.orderIdx) {
 		st.evaluateLeaf()
 		return
 	}
-	name := st.order[i]
-	node, _ := st.g.Node(name)
-	req := st.opts.resourceModel().Requirement(node.MAT)
-
-	eps2 := st.opts.epsilon2(len(st.cands))
+	x := st.orderIdx[i]
+	req := st.orderReq[i]
+	s := st.ci.S
 
 	usedHighest := -1
 	if st.symmetry {
+		//hermes:hot
 		for idx, u := range st.cands {
 			if st.load[u] > 0 {
 				usedHighest = idx
 			}
 		}
 	}
+	//hermes:hot
 	for idx, u := range st.cands {
+		ui := int32(u)
 		// Symmetry: only the first unused switch may be opened (with no
 		// switches in use yet that is candidate 0).
 		if st.symmetry && st.load[u] == 0 && idx > usedHighest+1 {
 			continue
 		}
-		if st.load[u]+req > st.caps[u]+1e-9 {
+		if st.load[u]+req > st.ci.Caps[u]+1e-9 {
 			continue
 		}
 		newSwitch := st.load[u] == 0
-		if newSwitch && st.distinct+1 > eps2 {
+		if newSwitch && st.distinct+1 > st.eps2 {
 			continue
 		}
-		// Incremental pair bytes and cycle check over in-edges, with an
-		// explicit undo log.
-		type undo struct {
-			key   RouteKey
-			bytes int
-		}
-		var log []undo
+		// Incremental pair bytes and cycle check over in-edges, with a
+		// frame on the shared undo stack.
+		base := len(st.undoCell)
 		prevMax := st.curMax
 		ok := true
-		for _, e := range st.g.InEdges(name) {
-			pu, assigned := st.assign[e.From]
-			if !assigned || pu == u {
+		for _, ei := range st.ci.In[x] {
+			pu := st.assign[st.ci.EdgeFrom[ei]]
+			if pu < 0 || pu == ui {
 				continue
 			}
-			if st.reachable(u, pu) {
+			if st.reachable(ui, pu) {
 				ok = false
 				break
 			}
-			key := RouteKey{From: pu, To: u}
-			st.pair[key] += e.MetadataBytes
-			if st.pair[key] > st.curMax {
-				st.curMax = st.pair[key]
+			cell := pu*s + ui
+			b := st.ci.EdgeBytes[ei]
+			st.addPair(cell, b)
+			if int(st.pair[cell]) > st.curMax {
+				st.curMax = int(st.pair[cell])
 			}
-			if st.swAdj[pu] == nil {
-				st.swAdj[pu] = map[network.SwitchID]int{}
-			}
-			st.swAdj[pu][u]++
-			log = append(log, undo{key: key, bytes: e.MetadataBytes})
+			st.undoCell = append(st.undoCell, cell)
+			st.undoByte = append(st.undoByte, b)
 		}
 		if ok && (!st.haveBest || st.curMax < st.bestA) && int64(st.curMax) <= st.sharedBest.Load() {
-			st.assign[name] = u
+			st.assign[x] = ui
 			st.load[u] += req
 			if newSwitch {
 				st.distinct++
@@ -285,19 +336,13 @@ func (st *exactState) dfs(i int) {
 				st.distinct--
 				st.load[u] = 0
 			}
-			delete(st.assign, name)
+			st.assign[x] = -1
 		}
-		for j := len(log) - 1; j >= 0; j-- {
-			en := log[j]
-			st.pair[en.key] -= en.bytes
-			if st.pair[en.key] <= 0 {
-				delete(st.pair, en.key)
-			}
-			st.swAdj[en.key.From][en.key.To]--
-			if st.swAdj[en.key.From][en.key.To] <= 0 {
-				delete(st.swAdj[en.key.From], en.key.To)
-			}
+		for j := len(st.undoCell) - 1; j >= base; j-- {
+			st.subPair(st.undoCell[j], st.undoByte[j])
 		}
+		st.undoCell = st.undoCell[:base]
+		st.undoByte = st.undoByte[:base]
 		st.curMax = prevMax
 		if st.capped {
 			return
@@ -306,7 +351,7 @@ func (st *exactState) dfs(i int) {
 }
 
 // frontierNode is one search subtree root awaiting exploration:
-// order[:depth] is assigned in st, and path records the candidate
+// orderIdx[:depth] is assigned in st, and path records the candidate
 // indices chosen along the way so nodes can be ranked in the exact
 // DFS visit order of the sequential search.
 type frontierNode struct {
@@ -332,7 +377,7 @@ func searchParallel(root *exactState, workers int) {
 	// balance across the workers (or the tree is exhausted first).
 	target := workers * 4
 	frontier := []frontierNode{{st: root.clone(), depth: 0}}
-	for len(frontier) > 0 && len(frontier) < target && frontier[0].depth < len(root.order)-1 {
+	for len(frontier) > 0 && len(frontier) < target && frontier[0].depth < len(root.orderIdx)-1 {
 		fn := frontier[0]
 		frontier = frontier[1:]
 		for _, ch := range fn.st.expand(fn.depth) {
@@ -383,16 +428,15 @@ type expandedChild struct {
 	candIdx int
 }
 
-// expand returns the surviving child states for assigning order[i],
+// expand returns the surviving child states for assigning orderIdx[i],
 // applying exactly the candidate filters of dfs (symmetry, capacity,
 // ε2, switch-graph acyclicity, incumbent bound). The receiver is not
 // mutated; each child is an independent clone with the assignment
 // committed.
 func (st *exactState) expand(i int) []expandedChild {
-	name := st.order[i]
-	node, _ := st.g.Node(name)
-	req := st.opts.resourceModel().Requirement(node.MAT)
-	eps2 := st.opts.epsilon2(len(st.cands))
+	x := st.orderIdx[i]
+	req := st.orderReq[i]
+	s := st.ci.S
 
 	usedHighest := -1
 	if st.symmetry {
@@ -404,41 +448,38 @@ func (st *exactState) expand(i int) []expandedChild {
 	}
 	var out []expandedChild
 	for idx, u := range st.cands {
+		ui := int32(u)
 		if st.symmetry && st.load[u] == 0 && idx > usedHighest+1 {
 			continue
 		}
-		if st.load[u]+req > st.caps[u]+1e-9 {
+		if st.load[u]+req > st.ci.Caps[u]+1e-9 {
 			continue
 		}
 		newSwitch := st.load[u] == 0
-		if newSwitch && st.distinct+1 > eps2 {
+		if newSwitch && st.distinct+1 > st.eps2 {
 			continue
 		}
 		ch := st.clone()
 		ok := true
-		for _, e := range st.g.InEdges(name) {
-			pu, assigned := ch.assign[e.From]
-			if !assigned || pu == u {
+		for _, ei := range st.ci.In[x] {
+			pu := ch.assign[st.ci.EdgeFrom[ei]]
+			if pu < 0 || pu == ui {
 				continue
 			}
-			if ch.reachable(u, pu) {
+			if ch.reachable(ui, pu) {
 				ok = false
 				break
 			}
-			key := RouteKey{From: pu, To: u}
-			ch.pair[key] += e.MetadataBytes
-			if ch.pair[key] > ch.curMax {
-				ch.curMax = ch.pair[key]
+			cell := pu*s + ui
+			ch.addPair(cell, st.ci.EdgeBytes[ei])
+			if int(ch.pair[cell]) > ch.curMax {
+				ch.curMax = int(ch.pair[cell])
 			}
-			if ch.swAdj[pu] == nil {
-				ch.swAdj[pu] = map[network.SwitchID]int{}
-			}
-			ch.swAdj[pu][u]++
 		}
 		if !ok || (ch.haveBest && ch.curMax >= ch.bestA) {
 			continue
 		}
-		ch.assign[name] = u
+		ch.assign[x] = ui
 		ch.load[u] += req
 		if newSwitch {
 			ch.distinct++
@@ -449,23 +490,32 @@ func (st *exactState) expand(i int) []expandedChild {
 }
 
 // reachable reports whether dst is reachable from src in the contracted
-// switch graph.
-func (st *exactState) reachable(src, dst network.SwitchID) bool {
+// switch graph (swCnt rows), using the state's scratch buffers.
+func (st *exactState) reachable(src, dst int32) bool {
 	if src == dst {
 		return true
 	}
-	stack := []network.SwitchID{src}
-	seen := map[network.SwitchID]bool{src: true}
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for to := range st.swAdj[n] {
-			if to == dst {
+	s := st.ci.S
+	for i := range st.seen {
+		st.seen[i] = false
+	}
+	st.stack = append(st.stack[:0], src)
+	st.seen[src] = true
+	for len(st.stack) > 0 {
+		n := st.stack[len(st.stack)-1]
+		st.stack = st.stack[:len(st.stack)-1]
+		row := st.swCnt[n*s : (n+1)*s]
+		//hermes:hot
+		for to, cnt := range row {
+			if cnt <= 0 {
+				continue
+			}
+			if int32(to) == dst {
 				return true
 			}
-			if !seen[to] {
-				seen[to] = true
-				stack = append(stack, to)
+			if !st.seen[to] {
+				st.seen[to] = true
+				st.stack = append(st.stack, int32(to))
 			}
 		}
 	}
@@ -480,38 +530,43 @@ func (st *exactState) evaluateLeaf() {
 	}
 	// Stage-level packing per switch.
 	bySwitch := map[network.SwitchID][]string{}
-	for name, u := range st.assign {
-		bySwitch[u] = append(bySwitch[u], name)
+	for x, u := range st.assign {
+		if u >= 0 {
+			bySwitch[network.SwitchID(u)] = append(bySwitch[network.SwitchID(u)], st.ci.Names[x])
+		}
 	}
 	rm := st.opts.resourceModel()
 	for u, names := range bySwitch {
-		sw, err := st.topo.Switch(u)
+		sw, err := st.ci.Topo.Switch(u)
 		if err != nil {
 			return
 		}
-		if !FitsSwitch(st.g, names, sw, rm) {
+		if !FitsSwitch(st.ci.Graph, names, sw, rm) {
 			return
 		}
 	}
-	// ε1 bound via shortest paths between communicating pairs.
+	// ε1 bound via the dense latency table over live communicating
+	// pairs (lat < 0 marks an unreachable pair).
 	if st.opts.Epsilon1 > 0 {
+		lat := st.ci.latencies()
 		var total time.Duration
-		for key := range st.pair {
-			p, err := st.topo.ShortestPath(key.From, key.To)
-			if err != nil {
+		//hermes:hot
+		for _, cell := range st.active {
+			if !st.pairLive[cell] {
+				continue
+			}
+			l := lat[cell]
+			if l < 0 {
 				return
 			}
-			total += p.Latency
+			total += l
 		}
 		if total > st.opts.Epsilon1 {
 			return
 		}
 	}
 	st.bestA = st.curMax
-	st.bestSet = map[string]network.SwitchID{}
-	for name, u := range st.assign {
-		st.bestSet[name] = u
-	}
+	st.bestSet = append([]int32(nil), st.assign...)
 	st.haveBest = true
 	// Publish the improvement so sibling branches prune against it
 	// (monotone min; equality keeps the first stored value).
@@ -527,21 +582,23 @@ func (st *exactState) evaluateLeaf() {
 // packing and routes.
 func (e Exact) materialize(st *exactState) (*Plan, error) {
 	plan := &Plan{
-		Graph:       st.g,
-		Topo:        st.topo,
+		Graph:       st.ci.Graph,
+		Topo:        st.ci.Topo,
 		Assignments: map[string]StagePlacement{},
 	}
 	bySwitch := map[network.SwitchID][]string{}
-	for name, u := range st.bestSet {
-		bySwitch[u] = append(bySwitch[u], name)
+	for x, u := range st.bestSet {
+		if u >= 0 {
+			bySwitch[network.SwitchID(u)] = append(bySwitch[network.SwitchID(u)], st.ci.Names[x])
+		}
 	}
 	rm := st.opts.resourceModel()
 	for u, names := range bySwitch {
-		sw, err := st.topo.Switch(u)
+		sw, err := st.ci.Topo.Switch(u)
 		if err != nil {
 			return nil, err
 		}
-		placed, err := PackStages(st.g, names, sw, rm)
+		placed, err := packShared(st.ci.Graph, names, sw, rm)
 		if err != nil {
 			return nil, fmt.Errorf("placement: materializing exact plan: %w", err)
 		}

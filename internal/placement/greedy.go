@@ -206,6 +206,9 @@ func capacitySplit(g *tdg.Graph, sw *network.Switch, rm program.ResourceModel) (
 		dp[i] = cell{groups: inf, cost: inf}
 		prev[i] = -1
 	}
+	// The DP probes O(n²) contiguous ranges; the dense scratch answers
+	// each with packOrdered's arithmetic, skipping the name-keyed memo.
+	ps := newPackScratch(g, order, sw, rm)
 	for i := 1; i <= n; i++ {
 		weight := 0.0
 		for j := i - 1; j >= 0; j-- {
@@ -227,7 +230,7 @@ func capacitySplit(g *tdg.Graph, sw *network.Switch, rm program.ResourceModel) (
 			if cand.groups > dp[i].groups || (cand.groups == dp[i].groups && cand.cost >= dp[i].cost) {
 				continue
 			}
-			if !FitsSwitch(g, order[j:i], sw, rm) {
+			if !ps.fits(j, i) {
 				continue
 			}
 			dp[i] = cand
@@ -261,30 +264,138 @@ func capacitySplit(g *tdg.Graph, sw *network.Switch, rm program.ResourceModel) (
 // minimum-metadata topological prefix cut until every segment satisfies
 // the switch capacity C_stage·C_res. Segments come back in dependency
 // order (all TDG edges flow from earlier to later segments).
+//
+// The recursion runs densely over contiguous ranges of the root
+// topological order — subgraphs are materialized only for the final
+// segments. This is exact, not an approximation: bisection always cuts
+// a topological prefix, the graph's topological sort breaks ties by
+// insertion order, and Subgraph inserts nodes in the caller's order,
+// so every recursive subgraph's topological order is precisely its
+// slice of the root order (an insertion order that is already
+// topological is a fixed point of the tie-break).
 func SplitTDG(g *tdg.Graph, sw *network.Switch, rm program.ResourceModel) ([]*tdg.Graph, error) {
 	if g.NumNodes() == 0 {
 		return nil, fmt.Errorf("placement: splitting empty TDG")
 	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	sp := newSplitScratch(g, order, sw, rm)
+	ranges, err := sp.split(0, len(order))
+	if err != nil {
+		return nil, err
+	}
+	segments := make([]*tdg.Graph, 0, len(ranges))
+	for _, r := range ranges {
+		seg, err := g.Subgraph(order[r[0]:r[1]])
+		if err != nil {
+			return nil, err
+		}
+		segments = append(segments, seg)
+	}
+	return segments, nil
+}
+
+// splitScratch carries the dense per-position arrays for SplitTDG's
+// range recursion: requirements, in/out edge bytes by position, and
+// the stage-packing scratch shared with the capacity-split DP.
+type splitScratch struct {
+	order []string
+	sw    *network.Switch
+	req   []float64
+	out   [][]posBytes // out-edges by topo position (targets are later)
+	in    [][]posBytes // in-edges by topo position (sources are earlier)
+	ps    *packScratch
+}
+
+type posBytes struct {
+	pos   int32
+	bytes int32
+}
+
+func newSplitScratch(g *tdg.Graph, order []string, sw *network.Switch, rm program.ResourceModel) *splitScratch {
+	n := len(order)
+	pos := make(map[string]int32, n)
+	for i, name := range order {
+		pos[name] = int32(i)
+	}
+	sp := &splitScratch{
+		order: order,
+		sw:    sw,
+		req:   make([]float64, n),
+		out:   make([][]posBytes, n),
+		in:    make([][]posBytes, n),
+	}
+	for i, name := range order {
+		node, _ := g.Node(name)
+		sp.req[i] = rm.Requirement(node.MAT)
+		for to, e := range g.OutEdgeList(name) {
+			sp.out[i] = append(sp.out[i], posBytes{pos[to], int32(e.MetadataBytes)})
+		}
+		for from, e := range g.InEdgeList(name) {
+			sp.in[i] = append(sp.in[i], posBytes{pos[from], int32(e.MetadataBytes)})
+		}
+	}
+	sp.ps = newPackScratch(g, order, sw, rm)
+	return sp
+}
+
+// split recursively bisects order[lo:hi] until every range fits one
+// switch, returning the ranges in dependency order.
+func (sp *splitScratch) split(lo, hi int) ([][2]int, error) {
 	// Line 2: the fit test. The paper checks the capacity sum
 	// ΣR(a) ≤ C_stage·C_res; we additionally require an actual stage
 	// packing so that dependency depth (Eq. 8) cannot invalidate a
 	// segment later.
-	if CapacityFits(g, rm, sw) && FitsSwitch(g, g.NodeNames(), sw, rm) {
-		return []*tdg.Graph{g}, nil
+	total := 0.0
+	for k := lo; k < hi; k++ {
+		total += sp.req[k]
 	}
-	if g.NumNodes() == 1 {
+	if total <= sp.sw.Capacity()+1e-9 && sp.ps.fits(lo, hi) {
+		return [][2]int{{lo, hi}}, nil
+	}
+	if hi-lo == 1 {
 		return nil, fmt.Errorf("placement: MAT %q alone exceeds switch capacity %g",
-			g.NodeNames()[0], sw.Capacity())
+			sp.order[lo], sp.sw.Capacity())
 	}
-	left, right, err := splitOnce(g, rm)
+	// One greedy bisection (Alg. 2 lines 4-14): sweep topological
+	// prefixes of the range, keeping the cut with minimal crossing
+	// metadata; ties break toward resource balance exactly as in
+	// splitOnce. Edges with an endpoint outside [lo,hi) never cross a
+	// cut of the range (they do not exist in the induced subgraph).
+	bestCut, bestK := -1, -1
+	bestBalance := 0.0
+	cut := 0
+	leftReq := 0.0
+	//hermes:hot
+	for k := lo; k < hi-1; k++ {
+		for _, e := range sp.out[k] {
+			if int(e.pos) < hi {
+				cut += int(e.bytes)
+			}
+		}
+		for _, e := range sp.in[k] {
+			if int(e.pos) >= lo {
+				cut -= int(e.bytes)
+			}
+		}
+		leftReq += sp.req[k]
+		imbalance := leftReq - total/2
+		if imbalance < 0 {
+			imbalance = -imbalance
+		}
+		if bestCut < 0 || cut < bestCut || (cut == bestCut && imbalance < bestBalance) {
+			bestCut = cut
+			bestK = k
+			bestBalance = imbalance
+		}
+	}
+	ls, err := sp.split(lo, bestK+1)
 	if err != nil {
 		return nil, err
 	}
-	ls, err := SplitTDG(left, sw, rm)
-	if err != nil {
-		return nil, err
-	}
-	rs, err := SplitTDG(right, sw, rm)
+	rs, err := sp.split(bestK+1, hi)
 	if err != nil {
 		return nil, err
 	}
@@ -477,7 +588,7 @@ func tryAssign(g *tdg.Graph, topo *network.Topology, segments []*tdg.Graph, cand
 		if err != nil {
 			return nil, -1, err
 		}
-		placed, err := PackStages(g, seg.NodeNames(), sw, rm)
+		placed, err := packShared(g, seg.NodeNames(), sw, rm)
 		if err != nil {
 			return nil, i, fmt.Errorf("placement: segment %d on switch %q: %w", i, sw.Name, err)
 		}

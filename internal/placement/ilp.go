@@ -334,7 +334,7 @@ func materializeAssignment(g *tdg.Graph, topo *network.Topology, assign map[stri
 		if err != nil {
 			return nil, err
 		}
-		placed, err := PackStages(g, names, sw, rm)
+		placed, err := packShared(g, names, sw, rm)
 		if err != nil {
 			return nil, fmt.Errorf("placement: materializing assignment: %w", err)
 		}

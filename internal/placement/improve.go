@@ -1,7 +1,6 @@
 package placement
 
 import (
-	"sort"
 	"time"
 
 	"github.com/hermes-net/hermes/internal/network"
@@ -17,15 +16,17 @@ import (
 // heuristic's gap to the optimum at negligible cost, since contiguous
 // topological segmentation cannot express every good partition.
 //
-// Candidate moves are scored incrementally — O(deg + pairs) per
-// candidate against a maintained pair-byte table instead of an O(E)
-// rescan — and the score phase for one MAT's candidate switches fans
-// out across opts.Workers goroutines. A candidate's score describes
-// the absolute state "MAT on that switch, everything else fixed", so
-// it is independent of both evaluation order and any acceptance made
-// earlier in the same candidate loop; the serial acceptance walk that
-// follows therefore reproduces the sequential first-improvement result
-// exactly for every worker count.
+// The climb runs entirely on the compiled instance: assignments are
+// dense []int32, the pair-byte table is a flat matrix, and candidate
+// moves are scored allocation-free in O(deg + pairs) against a
+// caller-owned delta overlay (CompiledInstance.MoveScore) instead of
+// an O(E) rescan over string-keyed maps. The score phase for one MAT's
+// candidate switches fans out across opts.Workers goroutines. A
+// candidate's score describes the absolute state "MAT on that switch,
+// everything else fixed", so it is independent of both evaluation
+// order and any acceptance made earlier in the same candidate loop;
+// the serial acceptance walk that follows therefore reproduces the
+// sequential first-improvement result exactly for every worker count.
 func localImprove(p *Plan, opts Options, rm program.ResourceModel, deadline time.Time) error {
 	return localImproveFiltered(p, opts, rm, deadline, nil)
 }
@@ -36,9 +37,10 @@ func localImprove(p *Plan, opts Options, rm program.ResourceModel, deadline time
 // (and their pair bytes) as fixed context. The deadline is polled
 // through a counter-gated clock read, not per MAT.
 func localImproveFiltered(p *Plan, opts Options, rm program.ResourceModel, deadline time.Time, only map[string]bool) error {
-	st := newImproveState(p)
-	used := usedSwitches(st.assignMap)
-	bestA, bestCross := st.score()
+	ci := Compile(p.Graph, p.Topo, rm)
+	st := newImproveState(ci, p)
+	used := st.usedSwitches()
+	bestA, bestCross := st.pt.Max(), st.total
 	workers := opts.workers()
 	poll := newDeadlinePoller(deadline, 32)
 
@@ -47,17 +49,18 @@ func localImproveFiltered(p *Plan, opts Options, rm program.ResourceModel, deadl
 		valid    bool
 	}
 	scores := make([]candScore, len(used))
-	// One scratch delta map per scoring goroutine.
-	scratches := make([]map[RouteKey]int, workers)
+	// One scratch delta overlay per scoring goroutine.
+	scratches := make([]*MoveScratch, workers)
 	for i := range scratches {
-		scratches[i] = map[RouteKey]int{}
+		scratches[i] = ci.NewMoveScratch()
 	}
+	feas := newFeasScratch(ci)
 
 	const maxPasses = 4
 	for pass := 0; pass < maxPasses; pass++ {
 		improved := false
-		for xi, name := range st.names {
-			if only != nil && !only[name] {
+		for xi := range ci.Names {
+			if only != nil && !only[ci.Names[xi]] {
 				continue
 			}
 			if poll.Expired() {
@@ -65,32 +68,34 @@ func localImproveFiltered(p *Plan, opts Options, rm program.ResourceModel, deadl
 			}
 			cur := st.assign[xi]
 			// Score phase: pure concurrent reads of the shared state.
-			parallelForShard(len(used), workers, func(shard, ci int) {
-				if used[ci] == cur {
-					scores[ci] = candScore{}
+			parallelForShard(len(used), workers, func(shard, k int) {
+				if int32(used[k]) == cur {
+					scores[k] = candScore{}
 					return
 				}
-				a, cross := st.evalMove(xi, used[ci], scratches[shard])
-				scores[ci] = candScore{a: a, cross: cross, valid: true}
+				a, cross := ci.MoveScore(st.assign, st.pt, scratches[shard], int32(xi), int32(used[k]), st.total)
+				scores[k] = candScore{a: a, cross: cross, valid: true}
 			})
 			// Acceptance phase: sequential first-improvement walk in
 			// candidate order, identical to the serial algorithm.
-			for ci, cand := range used {
-				sc := scores[ci]
-				if !sc.valid || cand == cur {
+			for k, cand := range used {
+				sc := scores[k]
+				if !sc.valid || int32(cand) == cur {
 					continue
 				}
 				if sc.a > bestA || (sc.a == bestA && sc.cross >= bestCross) {
 					continue
 				}
-				st.assignMap[name] = cand
-				if !moveFeasible(p, st.assignMap, opts, rm, cur, cand) {
-					st.assignMap[name] = cur
+				st.assign[xi] = int32(cand)
+				if !st.moveFeasible(opts, rm, feas, network.SwitchID(cur), cand) {
+					st.assign[xi] = cur
 					continue
 				}
-				st.applyMove(xi, cand)
+				// Restore, then commit through the pair-table fold.
+				st.assign[xi] = cur
+				st.total = ci.ApplyMove(st.assign, st.pt, int32(xi), int32(cand), st.total)
 				bestA, bestCross = sc.a, sc.cross
-				cur = cand
+				cur = int32(cand)
 				improved = true
 			}
 		}
@@ -100,257 +105,92 @@ func localImproveFiltered(p *Plan, opts Options, rm program.ResourceModel, deadl
 	}
 
 	// Rebuild the plan from the (possibly) improved assignment.
-	rebuilt, err := materializeAssignment(p.Graph, p.Topo, st.assignMap, rm)
+	rebuilt, err := materializeAssignment(p.Graph, p.Topo, ci.AssignMap(st.assign), rm)
 	if err != nil {
 		return err
 	}
 	p.Assignments = rebuilt.Assignments
 	p.Routes = rebuilt.Routes
+	p.InvalidateCache()
 	return nil
 }
 
-// improveEdge is one TDG edge in index space.
-type improveEdge struct {
-	from, to int
-	bytes    int
-}
-
-// improveState maintains the incremental scoring structures of the
-// hill climb: the assignment in index space, the per-ordered-pair
-// cross-byte table, and the running total of cross bytes. Entries in
-// pairBytes may decay to zero; they contribute nothing to A_max (which
-// is floored at zero, exactly like the full rescan).
+// improveState is the hill climb's working state over the compiled
+// instance: the dense assignment, the flat pair-byte table, and the
+// running total of cross bytes.
 type improveState struct {
-	p         *Plan
-	names     []string
-	assign    []network.SwitchID
-	assignMap map[string]network.SwitchID
-	edges     []improveEdge
-	incident  [][]int
-	pairBytes map[RouteKey]int
-	total     int
+	ci     *CompiledInstance
+	assign []int32
+	pt     *PairTable
+	total  int
 }
 
-func newImproveState(p *Plan) *improveState {
-	names := p.Graph.NodeNames()
-	sort.Strings(names)
-	idx := make(map[string]int, len(names))
-	for i, n := range names {
-		idx[n] = i
-	}
-	st := &improveState{
-		p:         p,
-		names:     names,
-		assign:    make([]network.SwitchID, len(names)),
-		assignMap: make(map[string]network.SwitchID, len(names)),
-		incident:  make([][]int, len(names)),
-		pairBytes: map[RouteKey]int{},
-	}
-	for name, sp := range p.Assignments {
-		st.assign[idx[name]] = sp.Switch
-		st.assignMap[name] = sp.Switch
-	}
-	for _, e := range p.Graph.EdgeList() {
-		ei := len(st.edges)
-		f, t := idx[e.From], idx[e.To]
-		st.edges = append(st.edges, improveEdge{from: f, to: t, bytes: e.MetadataBytes})
-		st.incident[f] = append(st.incident[f], ei)
-		st.incident[t] = append(st.incident[t], ei)
-		ua, ub := st.assign[f], st.assign[t]
-		if ua != ub {
-			st.pairBytes[RouteKey{From: ua, To: ub}] += e.MetadataBytes
-			st.total += e.MetadataBytes
-		}
-	}
+func newImproveState(ci *CompiledInstance, p *Plan) *improveState {
+	st := &improveState{ci: ci, assign: ci.PlanAssign(p), pt: ci.NewPairTable()}
+	st.total = ci.FillPairTable(st.assign, st.pt)
 	return st
 }
 
-// score returns the current (A_max, total cross bytes).
-func (st *improveState) score() (int, int) {
-	max := 0
-	for _, b := range st.pairBytes {
-		if b > max {
-			max = b
+// usedSwitches lists the switches hosting at least one MAT, ascending.
+func (st *improveState) usedSwitches() []network.SwitchID {
+	seen := make([]bool, st.ci.S)
+	for _, u := range st.assign {
+		if u >= 0 {
+			seen[u] = true
 		}
-	}
-	return max, st.total
-}
-
-// evalMove computes the absolute (A_max, total cross bytes) of the
-// assignment with MAT x on switch c and every other MAT unchanged,
-// without mutating the state. delta is caller-provided scratch (its
-// contents are discarded); O(deg(x) + |pairBytes|).
-func (st *improveState) evalMove(x int, c network.SwitchID, delta map[RouteKey]int) (int, int) {
-	for k := range delta {
-		delete(delta, k)
-	}
-	cross := st.total
-	old := st.assign[x]
-	for _, ei := range st.incident[x] {
-		e := st.edges[ei]
-		var peer network.SwitchID
-		var oldKey, newKey RouteKey
-		if e.from == x {
-			peer = st.assign[e.to]
-			oldKey = RouteKey{From: old, To: peer}
-			newKey = RouteKey{From: c, To: peer}
-		} else {
-			peer = st.assign[e.from]
-			oldKey = RouteKey{From: peer, To: old}
-			newKey = RouteKey{From: peer, To: c}
-		}
-		if peer != old {
-			delta[oldKey] -= e.bytes
-			cross -= e.bytes
-		}
-		if peer != c {
-			delta[newKey] += e.bytes
-			cross += e.bytes
-		}
-	}
-	max := 0
-	for k, b := range st.pairBytes {
-		if d, ok := delta[k]; ok {
-			b += d
-		}
-		if b > max {
-			max = b
-		}
-	}
-	for k, d := range delta {
-		if _, ok := st.pairBytes[k]; !ok && d > max {
-			max = d
-		}
-	}
-	return max, cross
-}
-
-// applyMove commits MAT x to switch c, updating the pair table, the
-// cross-byte total, and both assignment views.
-func (st *improveState) applyMove(x int, c network.SwitchID) {
-	old := st.assign[x]
-	for _, ei := range st.incident[x] {
-		e := st.edges[ei]
-		var peer network.SwitchID
-		var oldKey, newKey RouteKey
-		if e.from == x {
-			peer = st.assign[e.to]
-			oldKey = RouteKey{From: old, To: peer}
-			newKey = RouteKey{From: c, To: peer}
-		} else {
-			peer = st.assign[e.from]
-			oldKey = RouteKey{From: peer, To: old}
-			newKey = RouteKey{From: peer, To: c}
-		}
-		if peer != old {
-			st.pairBytes[oldKey] -= e.bytes
-			st.total -= e.bytes
-		}
-		if peer != c {
-			st.pairBytes[newKey] += e.bytes
-			st.total += e.bytes
-		}
-	}
-	st.assign[x] = c
-	st.assignMap[st.names[x]] = c
-}
-
-func usedSwitches(assign map[string]network.SwitchID) []network.SwitchID {
-	seen := map[network.SwitchID]bool{}
-	for _, u := range assign {
-		seen[u] = true
 	}
 	out := make([]network.SwitchID, 0, len(seen))
-	for u := range seen {
-		out = append(out, u)
+	for u, ok := range seen {
+		if ok {
+			out = append(out, network.SwitchID(u))
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// moveFeasible validates an assignment after a move that touched the
-// two given switches: both must still pack, and the contracted switch
-// graph must stay acyclic (with ε1 respected when set).
-func moveFeasible(p *Plan, assign map[string]network.SwitchID, opts Options, rm program.ResourceModel, touched ...network.SwitchID) bool {
-	bySwitch := map[network.SwitchID][]string{}
-	for name, u := range assign {
-		bySwitch[u] = append(bySwitch[u], name)
-	}
+// feasScratch bundles the reusable buffers of the per-move feasibility
+// probe.
+type feasScratch struct {
+	cyc   *CycleScratch
+	seen  *MoveScratch
+	names []string
+}
+
+func newFeasScratch(ci *CompiledInstance) *feasScratch {
+	return &feasScratch{cyc: ci.NewCycleScratch(), seen: ci.NewMoveScratch()}
+}
+
+// moveFeasible validates the dense assignment after a move that
+// touched the given switches: each must still pack, and the contracted
+// switch graph must stay acyclic (with ε1 respected when set). Stage
+// packing still crosses the map boundary — PackStages canonicalizes
+// and memoizes on the graph — while the acyclicity and ε1 probes run
+// on the compiled allocation-free kernels.
+func (st *improveState) moveFeasible(opts Options, rm program.ResourceModel, fs *feasScratch, touched ...network.SwitchID) bool {
 	for _, u := range touched {
-		names := bySwitch[u]
-		if len(names) == 0 {
+		fs.names = fs.names[:0]
+		for x, su := range st.assign {
+			if su == int32(u) {
+				fs.names = append(fs.names, st.ci.Names[x])
+			}
+		}
+		if len(fs.names) == 0 {
 			continue
 		}
-		sw, err := p.Topo.Switch(u)
+		sw, err := st.ci.Topo.Switch(u)
 		if err != nil {
 			return false
 		}
-		if !FitsSwitch(p.Graph, names, sw, rm) {
+		if !FitsSwitch(st.ci.Graph, fs.names, sw, rm) {
 			return false
 		}
 	}
-	// Switch-order acyclicity over the whole assignment.
-	adj := map[network.SwitchID]map[network.SwitchID]bool{}
-	indeg := map[network.SwitchID]int{}
-	nodes := map[network.SwitchID]bool{}
-	for _, u := range assign {
-		nodes[u] = true
-	}
-	for _, e := range p.Graph.EdgeList() {
-		ua, ub := assign[e.From], assign[e.To]
-		if ua == ub {
-			continue
-		}
-		if adj[ua] == nil {
-			adj[ua] = map[network.SwitchID]bool{}
-		}
-		if !adj[ua][ub] {
-			adj[ua][ub] = true
-			indeg[ub]++
-		}
-	}
-	var ready []network.SwitchID
-	for u := range nodes {
-		if indeg[u] == 0 {
-			ready = append(ready, u)
-		}
-	}
-	count := 0
-	for len(ready) > 0 {
-		u := ready[len(ready)-1]
-		ready = ready[:len(ready)-1]
-		count++
-		for v := range adj[u] {
-			indeg[v]--
-			if indeg[v] == 0 {
-				ready = append(ready, v)
-			}
-		}
-	}
-	if count != len(nodes) {
+	if !st.ci.AssignmentAcyclic(st.assign, fs.cyc) {
 		return false
 	}
-	// ε1 check on communicating pairs.
 	if opts.Epsilon1 > 0 {
-		var total time.Duration
-		seen := map[RouteKey]bool{}
-		for _, e := range p.Graph.EdgeList() {
-			ua, ub := assign[e.From], assign[e.To]
-			if ua == ub {
-				continue
-			}
-			key := RouteKey{From: ua, To: ub}
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			sp, err := p.Topo.ShortestPath(ua, ub)
-			if err != nil {
-				return false
-			}
-			total += sp.Latency
-		}
-		if total > opts.Epsilon1 {
+		total, ok := st.ci.AssignmentLatency(st.assign, fs.seen)
+		if !ok || total > opts.Epsilon1 {
 			return false
 		}
 	}

@@ -26,6 +26,11 @@ type packMemoEntry struct {
 // captured by the memo's host graph, which drops the memo on mutation.
 func packKey(ordered []string, sw *network.Switch, rm program.ResourceModel) string {
 	var b strings.Builder
+	n := 64
+	for _, s := range ordered {
+		n += len(s) + 1
+	}
+	b.Grow(n)
 	for _, n := range ordered {
 		b.WriteString(n)
 		b.WriteByte(0x1f)
@@ -58,6 +63,24 @@ func packKey(ordered []string, sw *network.Switch, rm program.ResourceModel) str
 // It returns the per-MAT placements, or an error when the switch cannot
 // host the set.
 func PackStages(g *tdg.Graph, names []string, sw *network.Switch, rm program.ResourceModel) (map[string]StagePlacement, error) {
+	out, err := packShared(g, names, sw, rm)
+	if err != nil {
+		return nil, err
+	}
+	fresh := make(map[string]StagePlacement, len(out))
+	for n, sp := range out {
+		fresh[n] = sp
+	}
+	return fresh, nil
+}
+
+// packShared is PackStages without the defensive top-level copy: the
+// returned map aliases the memo entry and must be treated as read-only
+// (the StagePlacement values and their PerStage slices are shared
+// exactly as PackStages shares them). Internal callers that only read
+// the result — FitsSwitch, candidate evaluation, materialization — use
+// this path to keep the memo hit allocation-free.
+func packShared(g *tdg.Graph, names []string, sw *network.Switch, rm program.ResourceModel) (map[string]StagePlacement, error) {
 	if sw == nil {
 		return nil, fmt.Errorf("placement: pack on nil switch")
 	}
@@ -86,25 +109,11 @@ func PackStages(g *tdg.Graph, names []string, sw *network.Switch, rm program.Res
 	key := packKey(ordered, sw, rm)
 	if v, ok := g.Memo(key); ok {
 		ent := v.(packMemoEntry)
-		if ent.err != nil {
-			return nil, ent.err
-		}
-		out := make(map[string]StagePlacement, len(ent.out))
-		for n, sp := range ent.out {
-			out[n] = sp
-		}
-		return out, nil
+		return ent.out, ent.err
 	}
 	out, err := packOrdered(g, ordered, sw, rm)
 	g.MemoSet(key, packMemoEntry{out: out, err: err})
-	if err != nil {
-		return nil, err
-	}
-	fresh := make(map[string]StagePlacement, len(out))
-	for n, sp := range out {
-		fresh[n] = sp
-	}
-	return fresh, nil
+	return out, err
 }
 
 // packOrdered is the uncached packing pass over an already
@@ -166,11 +175,108 @@ func packOrdered(g *tdg.Graph, ordered []string, sw *network.Switch, rm program.
 // FitsSwitch reports whether the named MATs can be packed on the switch
 // (a full packing attempt, not just the capacity sum of Alg. 2 line 2).
 func FitsSwitch(g *tdg.Graph, names []string, sw *network.Switch, rm program.ResourceModel) bool {
-	_, err := PackStages(g, names, sw, rm)
+	_, err := packShared(g, names, sw, rm)
 	return err == nil
 }
 
 // CapacityFits is the cheap test of Alg. 2 line 2: ΣR(a) ≤ C_stage·C_res.
 func CapacityFits(g *tdg.Graph, rm program.ResourceModel, sw *network.Switch) bool {
 	return g.TotalRequirement(rm) <= sw.Capacity()+1e-9
+}
+
+// packScratch is the dense counterpart of PackStages for contiguous
+// ranges of one fixed topological order against one fixed switch. The
+// capacity-split DP probes O(n²) such ranges per solve; going through
+// the name-keyed memo costs a key build, a sort, and a map probe per
+// range even on a hit, which dominates solver profiles. The scratch
+// precomputes requirements and predecessor positions once and answers
+// each range with the exact packOrdered arithmetic over flat arrays,
+// so fits(j, i) and FitsSwitch(g, order[j:i], sw, rm) always agree
+// (compile_test.go holds them differential).
+type packScratch struct {
+	stages int
+	cap    float64
+	req    []float64 // requirement per topo position
+	preds  [][]int32 // in-edge predecessor positions per topo position
+	end    []int32   // scratch: last stage used, per packed position
+	used   []float64 // scratch: per-stage occupancy
+}
+
+// newPackScratch compiles the fit instance for g's full topological
+// order on switch sw. The order must be g.TopoSort() output.
+func newPackScratch(g *tdg.Graph, order []string, sw *network.Switch, rm program.ResourceModel) *packScratch {
+	n := len(order)
+	pos := make(map[string]int32, n)
+	for i, name := range order {
+		pos[name] = int32(i)
+	}
+	ps := &packScratch{
+		stages: sw.Stages,
+		cap:    sw.StageCapacity,
+		req:    make([]float64, n),
+		preds:  make([][]int32, n),
+		end:    make([]int32, n),
+		used:   make([]float64, sw.Stages),
+	}
+	if !sw.Programmable {
+		ps.stages = -1 // every fits() call fails, like PackStages
+	}
+	for i, name := range order {
+		node, _ := g.Node(name)
+		ps.req[i] = rm.Requirement(node.MAT)
+		for from := range g.InEdgeList(name) {
+			ps.preds[i] = append(ps.preds[i], pos[from])
+		}
+	}
+	return ps
+}
+
+// fits reports whether order[j:i] packs onto the switch — the same
+// verdict as FitsSwitch on that range, without names, keys, or maps.
+// A contiguous slice of a topological order is already in PackStages'
+// canonical order, so the packing arithmetic below is a literal port
+// of packOrdered over positions.
+func (ps *packScratch) fits(j, i int) bool {
+	if ps.stages < 0 {
+		return false
+	}
+	const tol = 1e-9
+	used := ps.used
+	for s := range used {
+		used[s] = 0
+	}
+	//hermes:hot
+	for k := j; k < i; k++ {
+		earliest := 0
+		for _, p := range ps.preds[k] {
+			// Predecessors precede k in topo order, so p < k always;
+			// p is in the packed set exactly when j <= p.
+			if int(p) >= j && int(ps.end[p])+1 > earliest {
+				earliest = int(ps.end[p]) + 1
+			}
+		}
+		if earliest >= ps.stages {
+			return false
+		}
+		rem := ps.req[k]
+		end := -1
+		for s := earliest; s < ps.stages && rem > tol; s++ {
+			avail := ps.cap - used[s]
+			if avail <= tol {
+				continue
+			}
+			chunk := avail
+			if rem < chunk {
+				chunk = rem
+			}
+			end = s
+			used[s] += chunk
+			rem -= chunk
+		}
+		if rem > tol {
+			return false
+		}
+		ps.end[k] = int32(end)
+	}
+	return true
 }

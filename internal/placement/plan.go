@@ -84,6 +84,21 @@ type Plan struct {
 	SolveTime  time.Duration
 	// Proven reports whether the solver proved optimality.
 	Proven bool
+
+	// pairCache memoizes PairBytes between mutations. It is plain
+	// fields, not a mutex-guarded box, so plans stay value-copyable;
+	// the cached map must never be mutated in place. Callers that
+	// mutate Assignments directly must call InvalidateCache (Validate
+	// and the lint engine re-derive defensively at entry).
+	pairCache   map[RouteKey]int
+	pairCacheOK bool
+}
+
+// InvalidateCache drops memoized derived state after a direct mutation
+// of the plan's assignments.
+func (p *Plan) InvalidateCache() {
+	p.pairCache = nil
+	p.pairCacheOK = false
 }
 
 // SwitchOf returns the switch hosting the named MAT.
@@ -125,7 +140,24 @@ func (p *Plan) CrossEdges() []*tdg.Edge {
 }
 
 // PairBytes aggregates Σ A(a,b) per ordered communicating switch pair.
+// The map is memoized on the plan (AMax, TE2E, WireBytes, and lint's
+// HL101–HL111 checks all re-derive it otherwise) and must be treated
+// as read-only; see InvalidateCache.
 func (p *Plan) PairBytes() map[RouteKey]int {
+	if p.pairCacheOK {
+		return p.pairCache
+	}
+	out := p.PairBytesUncached()
+	p.pairCache = out
+	p.pairCacheOK = true
+	return out
+}
+
+// PairBytesUncached recomputes the pair map from the assignments on
+// every call — the pre-memoization behavior, retained as the map-based
+// reference for the compiled kernels' differential tests and
+// benchmarks.
+func (p *Plan) PairBytesUncached() map[RouteKey]int {
 	out := map[RouteKey]int{}
 	for _, e := range p.CrossEdges() {
 		ua, _ := p.SwitchOf(e.From)
@@ -285,6 +317,9 @@ func (p *Plan) Validate(rm program.ResourceModel, eps1 time.Duration, eps2 int) 
 	if p.Graph == nil || p.Topo == nil {
 		return fmt.Errorf("placement: plan missing graph or topology")
 	}
+	// Tests (and replans) mutate Assignments in place before
+	// re-validating; never judge a tampered plan through a stale memo.
+	p.InvalidateCache()
 	// Eq. 6: every MAT deployed, on a programmable switch, within the
 	// stage range, with the full requirement placed.
 	for _, n := range p.Graph.Nodes() {

@@ -263,10 +263,11 @@ func repairPlan(old *Plan, topo *network.Topology, ropts ReplanOptions, drainedS
 	// Greedy re-placement of the displaced MATs in topological order:
 	// each lands on the feasible switch minimizing the resulting
 	// (A_max, switch ID) against the already-assigned neighbors.
-	// Candidates are scored incrementally against a maintained
-	// per-ordered-pair byte table — O(deg + pairs) per candidate, the
-	// same trick as the local-improve climb — instead of an O(E) rescan,
-	// which would dominate the repair at 50 programs.
+	// Candidates are scored incrementally against the compiled flat
+	// pair-byte table — allocation-free O(deg + pairs) per candidate
+	// (CompiledInstance.PlaceScore), the same kernels as the
+	// local-improve climb — instead of an O(E) rescan over string-keyed
+	// maps, which would dominate the repair at 50 programs.
 	order, err := g.TopoSort()
 	if err != nil {
 		return nil, len(dirty), err
@@ -276,16 +277,18 @@ func repairPlan(old *Plan, topo *network.Topology, ropts ReplanOptions, drainedS
 	for name, u := range assign {
 		residents[u] = append(residents[u], name)
 	}
-	pair := map[RouteKey]int{}
-	for _, e := range g.EdgeList() {
-		ua, oka := assign[e.From]
-		ub, okb := assign[e.To]
-		if oka && okb && ua != ub {
-			pair[RouteKey{From: ua, To: ub}] += e.MetadataBytes
-		}
-	}
+	ci := Compile(g, topo, rm)
+	dense := ci.DenseAssign(assign)
+	pt := ci.NewPairTable()
+	ci.FillPairTable(dense, pt)
+	ms := ci.NewMoveScratch()
+	cyc := ci.NewCycleScratch()
 	poll := newDeadlinePoller(ropts.Deadline, 16)
-	delta := map[RouteKey]int{}
+	type cand struct {
+		u    network.SwitchID
+		amax int
+	}
+	cands := make([]cand, 0, len(prog))
 	for _, name := range order {
 		if !displaced[name] {
 			continue
@@ -293,13 +296,11 @@ func repairPlan(old *Plan, topo *network.Topology, ropts ReplanOptions, drainedS
 		if poll.Expired() {
 			return nil, len(dirty), fmt.Errorf("deadline expired during repair placement")
 		}
-		type cand struct {
-			u    network.SwitchID
-			amax int
-		}
-		cands := make([]cand, 0, len(prog))
+		x := ci.Index[name]
+		cands = cands[:0]
+		//hermes:hot
 		for _, u := range prog {
-			cands = append(cands, cand{u: u, amax: placeScore(g, assign, pair, delta, name, u)})
+			cands = append(cands, cand{u: u, amax: ci.PlaceScore(dense, pt, ms, x, int32(u))})
 		}
 		sort.Slice(cands, func(i, j int) bool {
 			if cands[i].amax != cands[j].amax {
@@ -316,13 +317,14 @@ func repairPlan(old *Plan, topo *network.Topology, ropts ReplanOptions, drainedS
 			if !FitsSwitch(g, append(append([]string(nil), residents[c.u]...), name), sw, rm) {
 				continue
 			}
-			assign[name] = c.u
-			if !assignmentAcyclic(g, assign) {
-				delete(assign, name)
+			dense[x] = int32(c.u)
+			if !ci.AssignmentAcyclic(dense, cyc) {
+				dense[x] = -1
 				continue
 			}
 			residents[c.u] = append(residents[c.u], name)
-			applyPlacement(g, assign, pair, name, c.u)
+			assign[name] = c.u
+			ci.ApplyPlace(dense, pt, x, int32(c.u))
 			placed = true
 			break
 		}
