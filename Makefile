@@ -5,15 +5,18 @@
 # concurrent — racy code must not land), a one-shot smoke run of
 # the parallel speedup benchmark to prove the worker plumbing still
 # functions, a small replan-baseline smoke run proving the
-# machine-readable bench output still emits, and the core kernel smoke
+# machine-readable bench output still emits, the core kernel smoke
 # gate proving the compiled scoring kernels hold their speed/alloc
-# floors over the retained map references.
+# floors over the retained map references, and the chaos smoke gate
+# proving the fault-tolerant supervisor still recovers from an
+# injected fault schedule via incremental repair with zero invariant
+# violations.
 
 GO ?= go
 
-.PHONY: check lint vet fmt-check hermeslint build test race bench-smoke bench bench-json replan-smoke core-smoke bench-core-json bench-compare profile
+.PHONY: check lint vet fmt-check hermeslint build test race bench-smoke bench bench-json replan-smoke core-smoke chaos-smoke bench-core-json bench-compare bench-survive-json bench-survive-compare profile
 
-check: lint build race bench-smoke replan-smoke core-smoke
+check: lint build race bench-smoke replan-smoke core-smoke chaos-smoke
 
 # Static analysis gate: gofmt (no unformatted files), go vet, and the
 # repo-specific hermeslint pass (mutex/Clone conventions around the
@@ -69,6 +72,28 @@ replan-smoke:
 # measured in-process, so the gate holds on any machine.
 core-smoke:
 	$(GO) run ./cmd/hermes-bench -exp core -smoke
+
+# Survivability smoke gate (Exp#8, shortest schedule): the supervised
+# deployment must recover from the single-crash event through the
+# incremental repair path, replan at least once over the fault
+# schedule, shed nothing permanently, and pass the full oracle stack
+# (Plan.Validate, lint differential oracle, deploy.Verify) at every
+# quiescent point.
+chaos-smoke:
+	$(GO) run ./cmd/hermes-bench -exp exp8 -smoke
+
+# Regenerate the committed survivability baseline (BENCH_survive.json
+# is what bench-survive-compare diffs against).
+bench-survive-json:
+	$(GO) run ./cmd/hermes-bench -exp exp8 -json BENCH_survive.json
+
+# Survivability regression gate: fails if the structural outcome
+# drifted from the committed BENCH_survive.json — single-crash repair
+# falling back to a full solve, new invariant violations, changed
+# shed/restore behavior, or >10% A_max inflation drift. Wall-clock
+# times are ignored (machine-dependent).
+bench-survive-compare:
+	$(GO) run ./cmd/hermes-bench -exp exp8 -compare BENCH_survive.json
 
 # Regenerate the committed core kernel baseline (run on a quiet
 # machine; BENCH_core.json is what bench-compare diffs against).

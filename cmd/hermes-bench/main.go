@@ -9,6 +9,7 @@
 //	hermes-bench -exp exp5    # Figure 9: scalability
 //	hermes-bench -exp exp6    # switch resource consumption
 //	hermes-bench -exp exp7    # incremental replanning under churn
+//	hermes-bench -exp exp8    # survivability under injected faults
 //	hermes-bench -exp all
 //
 // Exp#2–Exp#5 iterate the ten Table III WAN topologies with up to 50
@@ -18,7 +19,9 @@
 // (BENCH_replan.json), so CI can diff replan latency, migration cost,
 // and A_max degradation across commits. With -exp core, -json writes
 // the kernel/end-to-end perf baseline (BENCH_core.json) instead; see
-// core.go for the -compare and -smoke gates.
+// core.go for the -compare and -smoke gates. With -exp exp8, -json
+// writes the survivability baseline (BENCH_survive.json); see
+// survive.go for its structural -compare and -smoke gates.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the
 // selected experiments, for `go tool pprof` analysis of the solver hot
@@ -49,7 +52,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("hermes-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig2, exp1, exp2, exp3, exp4, exp5, exp6, exp7, core, all")
+	exp := fs.String("exp", "all", "experiment: fig2, exp1, exp2, exp3, exp4, exp5, exp6, exp7, exp8, core, all")
 	programs := fs.Int("programs", 50, "concurrent programs for exp2-4 and exp7")
 	deadline := fs.Duration("deadline", 3*time.Second, "per-instance solver deadline for exact/ILP solvers")
 	ilp := fs.Bool("ilp", true, "run the genuinely ILP-backed comparison frameworks")
@@ -87,7 +90,7 @@ func run(args []string) error {
 		jsonPath: *jsonPath, comparePath: *comparePath, smoke: *smoke}
 	todo := strings.Split(*exp, ",")
 	if *exp == "all" {
-		todo = []string{"fig2", "exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7"}
+		todo = []string{"fig2", "exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7", "exp8"}
 	}
 	for _, e := range todo {
 		if err := runner.run(strings.TrimSpace(e)); err != nil {
@@ -138,6 +141,8 @@ func (r *runner) run(exp string) error {
 		return r.exp6()
 	case "exp7":
 		return r.exp7()
+	case "exp8":
+		return r.exp8()
 	case "core":
 		return r.core()
 	default:

@@ -1,0 +1,254 @@
+// The "exp8" experiment measures survivability of a supervised
+// deployment under injected faults, producing the BENCH_survive.json
+// baseline:
+//
+//	hermes-bench -exp exp8 -json BENCH_survive.json    # (re)generate the baseline
+//	hermes-bench -exp exp8 -compare BENCH_survive.json # fail on structural drift
+//	hermes-bench -exp exp8 -smoke                      # short schedule, hard bounds
+//
+// Every input is seeded (fault schedule, monitor jitter, workload), so
+// the structural outcome — replan counts, shed/restore events, A_max
+// inflation, and the single-crash repair path — is reproducible; the
+// compare gate diffs exactly those fields and ignores wall-clock
+// timings. The smoke gate instead enforces machine-independent hard
+// bounds (zero invariant violations, incremental recovery, a generous
+// absolute recovery ceiling) on a short schedule, cheap enough for
+// `make check`.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+
+	"github.com/hermes-net/hermes/internal/experiments"
+)
+
+// surviveSmokeRecoveryMs is the absolute single-crash recovery ceiling
+// for -smoke: recovery is a greedy repair over a handful of displaced
+// MATs, so even a heavily loaded CI box sits orders of magnitude below.
+const surviveSmokeRecoveryMs = 5000.0
+
+// surviveInflationSlack bounds A_max-inflation drift in -compare.
+const surviveInflationSlack = 0.10
+
+// surviveRowJSON is one fault-rate row of the baseline.
+type surviveRowJSON struct {
+	Events             int     `json:"events"`
+	ScheduleEvents     int     `json:"schedule_events"`
+	Polls              int     `json:"polls"`
+	Replans            int     `json:"replans"`
+	IncrementalReplans int     `json:"incremental_replans"`
+	FullReplans        int     `json:"full_replans"`
+	ShedEvents         int     `json:"shed_events"`
+	RestoreEvents      int     `json:"restore_events"`
+	FinalShed          int     `json:"final_shed"`
+	Violations         int     `json:"violations"`
+	MaxRecoveryMs      float64 `json:"max_recovery_ms"`
+	MeanRecoveryMs     float64 `json:"mean_recovery_ms"`
+	BaseAMax           int     `json:"base_amax_bytes"`
+	MaxAMax            int     `json:"max_amax_bytes"`
+	AMaxInflation      float64 `json:"amax_inflation"`
+}
+
+// singleCrashJSON is the headline single-switch-failure recovery.
+type singleCrashJSON struct {
+	CrashedSwitch int     `json:"crashed_switch"`
+	DisplacedMATs int     `json:"displaced_mats"`
+	UsedRepair    bool    `json:"used_repair"`
+	RecoveryMs    float64 `json:"recovery_ms"`
+	AMaxBefore    int     `json:"amax_before_bytes"`
+	AMaxAfter     int     `json:"amax_after_bytes"`
+}
+
+// surviveBaselineJSON is the BENCH_survive.json document.
+type surviveBaselineJSON struct {
+	Experiment  string           `json:"experiment"`
+	Topology    int              `json:"topology"`
+	Programs    int              `json:"programs"`
+	Seed        int64            `json:"seed"`
+	SingleCrash singleCrashJSON  `json:"single_crash"`
+	Rows        []surviveRowJSON `json:"rows"`
+}
+
+func (r *runner) exp8() error {
+	mode := "baseline"
+	rates := []int{10, 20, 40}
+	if r.smoke {
+		mode = "smoke"
+		rates = []int{20} // shortest schedule that deterministically replans
+	} else if r.comparePath != "" {
+		mode = "compare"
+	}
+	fmt.Printf("## Exp#8: survivability under injected faults, Table III topology 1 (%s)\n", mode)
+
+	res, err := experiments.Exp8(r.cfg, rates)
+	if err != nil {
+		return err
+	}
+
+	sc := res.Single
+	repairPath := "full solve"
+	if sc.UsedRepair {
+		repairPath = "incremental repair"
+	}
+	fmt.Printf("  single crash: sw%d down (%d MATs displaced), recovered in %.2fms via %s, A_max %dB -> %dB\n",
+		int(sc.Crashed), sc.DisplacedMATs, sc.RecoveryMs, repairPath, sc.AMaxBefore, sc.AMaxAfter)
+
+	fmt.Printf("  %-8s %-8s %-7s %-9s %-9s %-10s %-6s %-10s %-10s %-12s\n",
+		"faults", "events", "polls", "replans", "shed/rst", "violations", "left", "maxrec", "A_max", "inflation")
+	doc := surviveBaselineJSON{
+		Experiment: "exp8", Topology: 1, Programs: 6, Seed: r.cfg.Seed,
+		SingleCrash: singleCrashJSON{
+			CrashedSwitch: int(sc.Crashed), DisplacedMATs: sc.DisplacedMATs,
+			UsedRepair: sc.UsedRepair, RecoveryMs: round3(sc.RecoveryMs),
+			AMaxBefore: sc.AMaxBefore, AMaxAfter: sc.AMaxAfter,
+		},
+	}
+	csvRows := [][]string{{"events", "schedule_events", "polls", "replans", "incremental_replans", "full_replans",
+		"shed_events", "restore_events", "final_shed", "violations", "max_recovery_ms", "mean_recovery_ms",
+		"base_amax_bytes", "max_amax_bytes", "amax_inflation"}}
+	for _, p := range res.Rows {
+		fmt.Printf("  %-8d %-8d %-7d %2d (%di/%df) %2d/%-6d %-10d %-6d %-10s %-10s %-12.3f\n",
+			p.Events, p.ScheduleEvents, p.Polls, p.Replans, p.IncrementalReplans, p.FullReplans,
+			p.ShedEvents, p.RestoreEvents, p.Violations, p.FinalShed,
+			fmt.Sprintf("%.2fms", p.MaxRecoveryMs),
+			fmt.Sprintf("%dB/%dB", p.BaseAMax, p.MaxAMax), p.AMaxInflation)
+		csvRows = append(csvRows, []string{
+			strconv.Itoa(p.Events), strconv.Itoa(p.ScheduleEvents), strconv.Itoa(p.Polls),
+			strconv.Itoa(p.Replans), strconv.Itoa(p.IncrementalReplans), strconv.Itoa(p.FullReplans),
+			strconv.Itoa(p.ShedEvents), strconv.Itoa(p.RestoreEvents), strconv.Itoa(p.FinalShed),
+			strconv.Itoa(p.Violations),
+			fmt.Sprintf("%.3f", p.MaxRecoveryMs), fmt.Sprintf("%.3f", p.MeanRecoveryMs),
+			strconv.Itoa(p.BaseAMax), strconv.Itoa(p.MaxAMax), fmt.Sprintf("%.4f", p.AMaxInflation),
+		})
+		doc.Rows = append(doc.Rows, surviveRowJSON{
+			Events: p.Events, ScheduleEvents: p.ScheduleEvents, Polls: p.Polls,
+			Replans: p.Replans, IncrementalReplans: p.IncrementalReplans, FullReplans: p.FullReplans,
+			ShedEvents: p.ShedEvents, RestoreEvents: p.RestoreEvents, FinalShed: p.FinalShed,
+			Violations: p.Violations, MaxRecoveryMs: round3(p.MaxRecoveryMs), MeanRecoveryMs: round3(p.MeanRecoveryMs),
+			BaseAMax: p.BaseAMax, MaxAMax: p.MaxAMax, AMaxInflation: round3(p.AMaxInflation),
+		})
+	}
+	fmt.Println()
+
+	if r.smoke {
+		return surviveSmokeGate(doc)
+	}
+	if r.comparePath != "" {
+		return surviveCompareGate(r.comparePath, doc)
+	}
+	if r.jsonPath != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(r.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing survivability baseline: %w", err)
+		}
+		fmt.Printf("  survivability baseline written to %s\n\n", r.jsonPath)
+	}
+	return r.writeCSV("exp8.csv", csvRows)
+}
+
+// surviveSmokeGate enforces the machine-independent hard bounds on the
+// short chaos schedule.
+func surviveSmokeGate(doc surviveBaselineJSON) error {
+	var failures []string
+	if !doc.SingleCrash.UsedRepair {
+		failures = append(failures, "single crash fell back to a full solve; expected incremental repair")
+	}
+	replans := 0
+	for _, row := range doc.Rows {
+		replans += row.Replans
+	}
+	if replans == 0 {
+		failures = append(failures, "smoke schedule never triggered a replan; the invariant checks proved nothing")
+	}
+	if doc.SingleCrash.RecoveryMs >= surviveSmokeRecoveryMs {
+		failures = append(failures, fmt.Sprintf(
+			"single crash took %.1fms to recover (bound %.0fms)", doc.SingleCrash.RecoveryMs, surviveSmokeRecoveryMs))
+	}
+	for _, row := range doc.Rows {
+		if row.Violations != 0 {
+			failures = append(failures, fmt.Sprintf(
+				"%d-fault schedule hit %d invariant violations; want 0", row.Events, row.Violations))
+		}
+		if row.FinalShed != 0 {
+			failures = append(failures, fmt.Sprintf(
+				"%d-fault schedule left %d programs shed after full heal; want 0", row.Events, row.FinalShed))
+		}
+		if row.MaxRecoveryMs >= surviveSmokeRecoveryMs {
+			failures = append(failures, fmt.Sprintf(
+				"%d-fault schedule max recovery %.1fms (bound %.0fms)", row.Events, row.MaxRecoveryMs, surviveSmokeRecoveryMs))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Println("  FAIL:", f)
+		}
+		return fmt.Errorf("survive smoke gate failed (%d check(s))", len(failures))
+	}
+	fmt.Println("  survive smoke gate passed: zero violations, incremental recovery within bounds")
+	return nil
+}
+
+// surviveCompareGate diffs the structural (seed-determined) fields
+// against the committed baseline; wall-clock fields are ignored.
+func surviveCompareGate(path string, cur surviveBaselineJSON) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading survivability baseline: %w", err)
+	}
+	var base surviveBaselineJSON
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing survivability baseline %s: %w", path, err)
+	}
+	var failures []string
+	if base.SingleCrash.UsedRepair && !cur.SingleCrash.UsedRepair {
+		failures = append(failures, "single crash no longer uses the incremental repair path")
+	}
+	byEvents := make(map[int]surviveRowJSON, len(base.Rows))
+	for _, row := range base.Rows {
+		byEvents[row.Events] = row
+	}
+	fmt.Printf("  %-8s %-18s %-18s %-14s\n", "faults", "replans b->c", "shed/rst b->c", "inflation b->c")
+	for _, row := range cur.Rows {
+		b, ok := byEvents[row.Events]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%d-fault row missing from baseline %s", row.Events, path))
+			continue
+		}
+		fmt.Printf("  %-8d %6d -> %-8d %3d/%d -> %d/%-5d %.3f -> %.3f\n",
+			row.Events, b.Replans, row.Replans, b.ShedEvents, b.RestoreEvents,
+			row.ShedEvents, row.RestoreEvents, b.AMaxInflation, row.AMaxInflation)
+		if row.Violations != 0 {
+			failures = append(failures, fmt.Sprintf("%d-fault row has %d invariant violations", row.Events, row.Violations))
+		}
+		if row.FinalShed != b.FinalShed {
+			failures = append(failures, fmt.Sprintf(
+				"%d-fault row final shed %d != baseline %d", row.Events, row.FinalShed, b.FinalShed))
+		}
+		if row.ShedEvents != b.ShedEvents || row.RestoreEvents != b.RestoreEvents {
+			failures = append(failures, fmt.Sprintf(
+				"%d-fault row shed/restore %d/%d != baseline %d/%d",
+				row.Events, row.ShedEvents, row.RestoreEvents, b.ShedEvents, b.RestoreEvents))
+		}
+		if b.AMaxInflation > 0 && math.Abs(row.AMaxInflation/b.AMaxInflation-1) > surviveInflationSlack {
+			failures = append(failures, fmt.Sprintf(
+				"%d-fault row A_max inflation %.3f drifted beyond %.0f%% of baseline %.3f",
+				row.Events, row.AMaxInflation, surviveInflationSlack*100, b.AMaxInflation))
+		}
+	}
+	fmt.Println()
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Println("  FAIL:", f)
+		}
+		return fmt.Errorf("survive compare gate failed (%d drift(s))", len(failures))
+	}
+	fmt.Printf("  survive compare gate passed: structural outcome matches %s\n", path)
+	return nil
+}

@@ -7,6 +7,7 @@
 //	hermes -workload real:6 -topology linear:3 -solver hermes
 //	hermes -workload synthetic:20 -topology table3:4 -solver all
 //	hermes -workload sketches:10 -topology linear:3 -json
+//	hermes -workload mixed:6 -topology table3:1 -stage-capacity 0.05 -supervise -fault-schedule rand:20
 //	hermes lint -json examples/p4src/bad.p4
 //
 // Workloads:   real:N (N of the ten switch.p4-style programs),
@@ -68,6 +69,8 @@ func run(args []string) error {
 	savePlan := fs.String("save-plan", "", "write the first solver's plan as JSON to this path")
 	drainFlag := fs.String("drain", "", "comma-separated switch IDs to drain after the solve, exercising the replan path")
 	replanFlag := fs.String("replan", "auto", "replan strategy when -drain is set (auto, incremental, full)")
+	supervise := fs.Bool("supervise", false, "deploy under the fault-tolerant supervisor and drive -fault-schedule through it")
+	faultSchedule := fs.String("fault-schedule", "rand:10", "fault schedule for -supervise: rand:N[,SEED] or a schedule file path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,6 +109,14 @@ func run(args []string) error {
 
 	fmt.Printf("workload: %s (%d programs), topology: %s (%d switches, %d programmable)\n",
 		*workloadFlag, len(progs), topo.Name, topo.NumSwitches(), len(topo.ProgrammableSwitches()))
+
+	if *supervise {
+		popts := placement.Options{Epsilon1: *eps1, Epsilon2: *eps2, Workers: *workers}
+		if *deadline > 0 {
+			popts.Deadline = time.Now().Add(*deadline)
+		}
+		return runSupervised(progs, topo, solvers[0], *faultSchedule, *seed, popts)
+	}
 
 	for _, solver := range solvers {
 		res, err := hermes.Deploy(progs, topo, hermes.DeployOptions{

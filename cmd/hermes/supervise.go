@@ -1,0 +1,144 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	hermes "github.com/hermes-net/hermes"
+	"github.com/hermes-net/hermes/internal/placement"
+)
+
+// superviseQuiescePolls bounds the supervision ticks spent per fault
+// event before the run is declared livelocked.
+const superviseQuiescePolls = 80
+
+// parseFaultSchedule resolves the -fault-schedule spec: "rand:N" or
+// "rand:N,SEED" generates a seeded schedule for topo, anything else is
+// a path to a schedule file in the text format.
+func parseFaultSchedule(spec string, topo *hermes.Topology, seed int64) (*hermes.FaultSchedule, error) {
+	if arg, ok := strings.CutPrefix(spec, "rand:"); ok {
+		nStr, seedStr, hasSeed := strings.Cut(arg, ",")
+		n, err := strconv.Atoi(nStr)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("fault schedule %q: bad event count", spec)
+		}
+		if hasSeed {
+			if seed, err = strconv.ParseInt(strings.TrimSpace(seedStr), 10, 64); err != nil {
+				return nil, fmt.Errorf("fault schedule %q: bad seed", spec)
+			}
+		}
+		return hermes.GenerateFaultSchedule(topo, hermes.FaultScheduleOptions{
+			Seed:   seed,
+			Events: n,
+			// Leave enough surviving capacity that degradation can always
+			// fall back to a one-program plan.
+			MinUpProgrammable: 1,
+		})
+	}
+	f, err := os.Open(spec)
+	if err != nil {
+		return nil, fmt.Errorf("fault schedule: %w", err)
+	}
+	defer f.Close()
+	return hermes.ParseFaultSchedule(f)
+}
+
+// runSupervised deploys the workload under the fault-tolerant
+// supervisor, drives the fault schedule through the live topology one
+// event at a time, and prints what the supervisor did to survive each
+// one.
+func runSupervised(progs []*hermes.Program, topo *hermes.Topology, solver hermes.Solver, schedSpec string, seed int64, popts placement.Options) error {
+	sched, err := parseFaultSchedule(schedSpec, topo, seed)
+	if err != nil {
+		return err
+	}
+	sup, err := hermes.NewSupervisor(progs, topo, hermes.SupervisorOptions{
+		Solver: solver,
+		Replan: hermes.ReplanOptions{Options: popts},
+		// 2-of-2 confirmation with one success to re-confirm: fast enough
+		// for an interactive run, still suppresses one-poll blips.
+		Monitor: hermes.MonitorOptions{
+			Window: 2, FailThreshold: 2, RecoverThreshold: 1,
+			BackoffMax: 2, Seed: seed,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if shed := sup.Report().Shed; len(shed) > 0 {
+		fmt.Printf("supervise: initial deployment degraded, shed %v\n", shed)
+	}
+	fmt.Printf("supervise: %d programs deployed on %s via %s, A_max=%dB; driving %d fault events\n",
+		len(progs)-len(sup.Report().Shed), topo.Name, solver.Name(),
+		sup.Deployment().Plan.AMax(), len(sched.Events))
+
+	for i, ev := range sched.Events {
+		if err := ev.Apply(topo); err != nil {
+			return fmt.Errorf("event %d (%s): %w", i, ev, err)
+		}
+		var acts []string
+		polls := 0
+		for ; polls < superviseQuiescePolls; polls++ {
+			res, err := sup.Poll()
+			if err != nil {
+				return fmt.Errorf("event %d (%s): poll: %w", i, ev, err)
+			}
+			acts = append(acts, describePoll(res)...)
+			settled := len(res.Down) == 0 && len(res.Up) == 0 &&
+				len(res.Shed) == 0 && len(res.Restored) == 0
+			if settled && !sup.PlanBroken() {
+				break
+			}
+		}
+		if sup.PlanBroken() {
+			return fmt.Errorf("event %d (%s): supervisor failed to quiesce", i, ev)
+		}
+		line := "steady"
+		if len(acts) > 0 {
+			line = strings.Join(acts, "; ")
+		}
+		fmt.Printf("  [%3d] %-28s %s\n", i, ev.String(), line)
+	}
+
+	st := sup.Stats()
+	fmt.Printf("supervise: survived %d events in %d polls: %d replans (%d incremental, %d full), %d shed, %d restored\n",
+		len(sched.Events), st.Polls, st.Replans, st.IncrementalReplans, st.FullReplans,
+		st.ShedPrograms, st.RestoredPrograms)
+	rep := sup.Report()
+	if len(rep.Shed) > 0 {
+		fmt.Printf("supervise: still degraded, shed %v\n", rep.Shed)
+	}
+	fmt.Printf("supervise: final plan A_max=%dB over %d switches\n",
+		sup.Deployment().Plan.AMax(), sup.Deployment().Plan.QOcc())
+	return sup.Deployment().Verify()
+}
+
+// describePoll renders a poll's actions as short phrases, empty for
+// no-op polls.
+func describePoll(res *hermes.SupervisorPollResult) []string {
+	var acts []string
+	if len(res.Down) > 0 {
+		acts = append(acts, fmt.Sprintf("confirmed down %v", res.Down))
+	}
+	if len(res.Up) > 0 {
+		acts = append(acts, fmt.Sprintf("confirmed up %v", res.Up))
+	}
+	if res.Replanned {
+		path := "full solve"
+		if res.UsedRepair {
+			path = fmt.Sprintf("delta repair (%d dirty MATs)", len(res.DirtyMATs))
+		}
+		acts = append(acts, fmt.Sprintf("replanned via %s in %v",
+			path, res.RecoveryTime.Round(time.Microsecond)))
+	}
+	if len(res.Shed) > 0 {
+		acts = append(acts, fmt.Sprintf("shed %v", res.Shed))
+	}
+	if len(res.Restored) > 0 {
+		acts = append(acts, fmt.Sprintf("restored %v", res.Restored))
+	}
+	return acts
+}

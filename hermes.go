@@ -23,7 +23,9 @@
 package hermes
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"github.com/hermes-net/hermes/internal/analyzer"
@@ -37,6 +39,7 @@ import (
 	"github.com/hermes-net/hermes/internal/p4lite"
 	"github.com/hermes-net/hermes/internal/placement"
 	"github.com/hermes-net/hermes/internal/program"
+	"github.com/hermes-net/hermes/internal/supervisor"
 	"github.com/hermes-net/hermes/internal/tdg"
 	"github.com/hermes-net/hermes/internal/workload"
 )
@@ -202,6 +205,9 @@ type DeployOptions struct {
 	// compilation, failing Deploy on error-severity findings. Importing
 	// package hermes registers the lint hooks.
 	Lint bool
+	// Ctx cancels the placement solve when done; nil means not
+	// cancelable.
+	Ctx context.Context
 }
 
 // Result is the outcome of Deploy.
@@ -231,6 +237,7 @@ func Deploy(progs []*Program, topo *Topology, opts DeployOptions) (*Result, erro
 		Epsilon2: opts.Epsilon2,
 		Workers:  opts.Workers,
 		Lint:     opts.Lint,
+		Ctx:      opts.Ctx,
 	}
 	if opts.SolverDeadline > 0 {
 		popts.Deadline = time.Now().Add(opts.SolverDeadline)
@@ -356,6 +363,61 @@ type TrafficSpec = dataplane.TrafficSpec
 // the default resource model.
 func DecodePlan(data []byte, g *TDG, topo *Topology) (*Plan, error) {
 	return placement.DecodePlan(data, g, topo, program.DefaultResourceModel)
+}
+
+// Fault tolerance.
+
+type (
+	// FaultEvent is one scheduled fault-layer mutation (switch or link
+	// down/up).
+	FaultEvent = network.FaultEvent
+	// FaultSchedule is a tick-ordered fault sequence.
+	FaultSchedule = network.Schedule
+	// FaultScheduleOptions parameterizes GenerateFaultSchedule.
+	FaultScheduleOptions = network.ScheduleOptions
+	// Supervisor keeps a deployment consistent with the live topology's
+	// fault state: health monitoring with K-of-N confirmation,
+	// incremental replanning on confirmed failures, graceful program
+	// shedding when no feasible plan exists, and restoration on heal.
+	Supervisor = supervisor.Supervisor
+	// SupervisorOptions configures a Supervisor.
+	SupervisorOptions = supervisor.Options
+	// MonitorOptions tunes the health monitor (confirmation windows,
+	// probe timeout, backoff).
+	MonitorOptions = supervisor.MonitorOptions
+	// DegradationReport records every shed/restore decision.
+	DegradationReport = supervisor.DegradationReport
+	// SupervisorStats are the supervisor's lifetime counters.
+	SupervisorStats = supervisor.Stats
+	// SupervisorPollResult describes what one supervision tick did.
+	SupervisorPollResult = supervisor.PollResult
+	// RetryPolicy configures the controller's rule-operation retries
+	// against transiently down switches.
+	RetryPolicy = deploy.RetryPolicy
+)
+
+// ErrSwitchDown marks rule operations that failed because the hosting
+// switch is down; it is the only error the controller retries.
+var ErrSwitchDown = deploy.ErrSwitchDown
+
+// GenerateFaultSchedule produces a deterministic fault schedule for a
+// topology: crashes, link cuts, flapping, and correlated regional
+// outages, with matching heals. Every prefix leaves the surviving
+// subgraph connected.
+func GenerateFaultSchedule(topo *Topology, opts FaultScheduleOptions) (*FaultSchedule, error) {
+	return network.GenerateSchedule(topo, opts)
+}
+
+// ParseFaultSchedule reads the text schedule form (one
+// `<tick> <op> <args>` event per line).
+func ParseFaultSchedule(r io.Reader) (*FaultSchedule, error) {
+	return network.ParseSchedule(r)
+}
+
+// NewSupervisor deploys progs on topo (progs[0] has the highest
+// priority and is shed last) and wraps the deployment in a supervisor.
+func NewSupervisor(progs []*Program, topo *Topology, opts SupervisorOptions) (*Supervisor, error) {
+	return supervisor.New(progs, topo, opts)
 }
 
 // Workloads.

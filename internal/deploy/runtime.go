@@ -1,13 +1,35 @@
 package deploy
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/hermes-net/hermes/internal/network"
 	"github.com/hermes-net/hermes/internal/program"
 )
+
+// ErrSwitchDown marks a rule operation that failed because the MAT's
+// hosting switch is marked down in the deployment topology's fault
+// state. The condition is transient — a supervised redeploy moves the
+// MAT, or a heal brings the switch back — so the controller retries
+// these (and only these) under its RetryPolicy.
+var ErrSwitchDown = errors.New("deploy: hosting switch is down")
+
+// RetryPolicy bounds the controller's retry loop for rule operations
+// that fail with ErrSwitchDown.
+type RetryPolicy struct {
+	// Attempts is the total number of tries; values below 1 mean a
+	// single attempt (no retry). The zero policy disables retries.
+	Attempts int
+	// Backoff is the wait before the first retry, doubling on each
+	// subsequent one; zero or negative means 10ms.
+	Backoff time.Duration
+	// Sleep replaces time.Sleep in tests; nil means time.Sleep.
+	Sleep func(time.Duration)
+}
 
 // Controller is the runtime side of the backend (paper §VI-A: "at
 // runtime, it invokes the network controller"): it installs and removes
@@ -17,8 +39,11 @@ import (
 type Controller struct {
 	mu  sync.Mutex
 	dep *Deployment
-	// hosts maps MAT name to its hosting switch, precomputed.
+	// hosts maps MAT name to its hosting switch. Derived from dep and
+	// swapped together with it by Rebind — never mutated piecemeal, so a
+	// rule op sees either the old binding or the new one, not a mix.
 	hosts map[string]network.SwitchID
+	retry RetryPolicy
 }
 
 // NewController wraps a compiled deployment.
@@ -26,11 +51,86 @@ func NewController(dep *Deployment) (*Controller, error) {
 	if dep == nil || dep.Plan == nil {
 		return nil, fmt.Errorf("deploy: controller over nil deployment")
 	}
+	return &Controller{dep: dep, hosts: hostsOf(dep)}, nil
+}
+
+func hostsOf(dep *Deployment) map[string]network.SwitchID {
 	hosts := make(map[string]network.SwitchID, len(dep.Plan.Assignments))
 	for name, sp := range dep.Plan.Assignments {
 		hosts[name] = sp.Switch
 	}
-	return &Controller{dep: dep, hosts: hosts}, nil
+	return hosts
+}
+
+// Rebind atomically points the controller at a redeployed deployment:
+// dep and the MAT→switch host map swap under one lock acquisition, so
+// rule installs issued after a supervised redeploy route to the new
+// hosting switches instead of the stale precomputed ones.
+func (c *Controller) Rebind(dep *Deployment) error {
+	if dep == nil || dep.Plan == nil {
+		return fmt.Errorf("deploy: rebind to nil deployment")
+	}
+	hosts := hostsOf(dep)
+	c.mu.Lock()
+	c.dep = dep
+	c.hosts = hosts
+	c.mu.Unlock()
+	return nil
+}
+
+// SetRetryPolicy configures retry-with-backoff for rule operations that
+// hit a down hosting switch. The zero policy (default) disables
+// retries.
+func (c *Controller) SetRetryPolicy(p RetryPolicy) {
+	c.mu.Lock()
+	c.retry = p
+	c.mu.Unlock()
+}
+
+// withRetry runs op, retrying ErrSwitchDown failures under the policy
+// with exponential backoff. Each attempt re-reads controller state, so
+// a Rebind (or heal) between attempts resolves the outage.
+func (c *Controller) withRetry(op func() error) error {
+	c.mu.Lock()
+	pol := c.retry
+	c.mu.Unlock()
+	attempts := pol.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := pol.Backoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	sleep := pol.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			sleep(backoff)
+			backoff *= 2
+		}
+		err = op()
+		if err == nil || !errors.Is(err, ErrSwitchDown) {
+			return err
+		}
+	}
+	return err
+}
+
+// hostUp returns the MAT's hosting switch after checking the fault
+// overlay; a down host yields ErrSwitchDown. Caller holds the lock.
+func (c *Controller) hostUp(mat string) (network.SwitchID, error) {
+	id, ok := c.hosts[mat]
+	if !ok {
+		return 0, fmt.Errorf("deploy: MAT %q is not deployed", mat)
+	}
+	if c.dep.Plan.Topo.SwitchIsDown(id) {
+		return 0, fmt.Errorf("deploy: MAT %q on switch %d: %w", mat, id, ErrSwitchDown)
+	}
+	return id, nil
 }
 
 // HostingSwitch reports which switch runs the named MAT.
@@ -56,9 +156,18 @@ func (c *Controller) lookupMAT(mat string) (*program.MAT, error) {
 
 // InstallRule adds a rule to the named MAT, enforcing validity and the
 // rule capacity C_a. Updates take effect on the next processed packet.
+// A down hosting switch is retried under the RetryPolicy; between
+// attempts a supervised Rebind (or a heal) can resolve the outage.
 func (c *Controller) InstallRule(mat string, r program.Rule) error {
+	return c.withRetry(func() error { return c.installRuleOnce(mat, r) })
+}
+
+func (c *Controller) installRuleOnce(mat string, r program.Rule) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if _, err := c.hostUp(mat); err != nil {
+		return err
+	}
 	m, err := c.lookupMAT(mat)
 	if err != nil {
 		return err
@@ -73,10 +182,18 @@ func (c *Controller) InstallRule(mat string, r program.Rule) error {
 	return nil
 }
 
-// RemoveRule deletes the rule at the given installation index.
+// RemoveRule deletes the rule at the given installation index, with the
+// same down-switch retry semantics as InstallRule.
 func (c *Controller) RemoveRule(mat string, index int) error {
+	return c.withRetry(func() error { return c.removeRuleOnce(mat, index) })
+}
+
+func (c *Controller) removeRuleOnce(mat string, index int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if _, err := c.hostUp(mat); err != nil {
+		return err
+	}
 	m, err := c.lookupMAT(mat)
 	if err != nil {
 		return err

@@ -31,6 +31,7 @@
 //	HL109  plan objective accessors disagree with recomputation
 //	HL110  switch-level dependency graph is cyclic
 //	HL111  route traverses non-existent links or misstates latency
+//	HL112  MAT on a switch marked down in the topology's fault state (Eq. 6)
 //
 // The HL1xx family is an independent re-implementation of the plan
 // constraints; findings with Oracle set participate in the

@@ -73,6 +73,13 @@ func lintDeploymentVars(p *placement.Plan, rm program.ResourceModel) Findings {
 				Hint:    "only switches with P(u)=1 may host MATs"})
 			continue
 		}
+		if p.Topo.SwitchIsDown(sp.Switch) {
+			fs = append(fs, Finding{Rule: "HL112", Severity: Error, Eq: 6, Oracle: true,
+				Object:  name,
+				Message: fmt.Sprintf("MAT %q assigned to %s, which is marked down in the topology's fault state", name, placement.SwitchLabel(p.Topo, sp.Switch)),
+				Hint:    "replan around the failure (the supervisor does this automatically) or heal the switch"})
+			continue
+		}
 		if sp.Start < 0 || sp.End >= sw.Stages || sp.Start > sp.End {
 			fs = append(fs, Finding{Rule: "HL103", Severity: Error, Eq: 8, Oracle: true,
 				Object: name,

@@ -146,6 +146,21 @@ func TestMutationNonProgrammableSwitch(t *testing.T) {
 	}
 }
 
+func TestMutationDownSwitch(t *testing.T) {
+	p := solvedChain(t)
+	sp, ok := p.Assignments["a"]
+	if !ok {
+		t.Fatal("a unassigned")
+	}
+	// The plan was valid when solved; marking the hosting switch down
+	// in the fault overlay invalidates it after the fact — exactly the
+	// window the supervisor closes by replanning.
+	if err := p.Topo.SetSwitchDown(sp.Switch); err != nil {
+		t.Fatal(err)
+	}
+	requireOracleRejects(t, p, "HL112")
+}
+
 func TestMutationShortRequirement(t *testing.T) {
 	p := solvedChain(t)
 	sp := p.Assignments["c"]

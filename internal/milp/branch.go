@@ -7,6 +7,17 @@ import (
 
 const intTol = 1e-6
 
+// canceled reports whether the optional cancel channel is closed; nil
+// never cancels.
+func canceled(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
 // bnode is one branch-and-bound node. Bounds are delta-encoded against
 // the parent (one tightened bound per node), so the open-node stack
 // stays tiny even for deadline-capped searches that enumerate millions
@@ -80,9 +91,15 @@ func (m *Model) Solve(opts Options) *Solution {
 			deadlineHit = true
 			break
 		}
-		if !opts.Deadline.IsZero() && nodes%64 == 0 && time.Now().After(opts.Deadline) {
-			deadlineHit = true
-			break
+		if nodes%64 == 0 {
+			if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+				deadlineHit = true
+				break
+			}
+			if canceled(opts.Cancel) {
+				deadlineHit = true
+				break
+			}
 		}
 		// Depth-first: take the most recent node (finds incumbents fast,
 		// keeps memory small).

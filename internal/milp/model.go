@@ -183,6 +183,10 @@ type Options struct {
 	// MaxNodes bounds branch-and-bound nodes; zero means the default
 	// (1e6).
 	MaxNodes int
+	// Cancel, when non-nil, stops the search as soon as the channel is
+	// closed (polled at the same cadence as Deadline); the solver
+	// returns its incumbent exactly as it does at the deadline.
+	Cancel <-chan struct{}
 }
 
 // buildLP lowers the model to standard form for the simplex: every

@@ -78,6 +78,18 @@ type Topology struct {
 	// cache memoizes shortest-path queries (see oracle.go). It is
 	// invalidated on mutation and never shared between topologies.
 	cache *pathCache
+
+	// downSw and downLink are the fault layer's state (fault.go):
+	// switches and link indexes currently failed. A down element keeps
+	// its struct untouched — failure is an orthogonal, healable overlay,
+	// unlike a drain, which rewrites the Programmable/Stages fields.
+	// nil maps mean no faults.
+	downSw   map[SwitchID]bool
+	downLink map[int]bool
+	// faultEpoch counts fault-state mutations so derived caches keyed on
+	// the topology pointer (the compiled placement instance) can detect
+	// staleness without comparing the maps.
+	faultEpoch uint64
 }
 
 // infDist marks an unreachable node in Dijkstra distance arrays.
@@ -158,11 +170,12 @@ func (t *Topology) Switches() []*Switch {
 }
 
 // ProgrammableSwitches returns the IDs of programmable switches in
-// ascending order.
+// ascending order. Switches marked down by the fault layer are excluded:
+// a failed switch cannot host MATs regardless of its hardware.
 func (t *Topology) ProgrammableSwitches() []SwitchID {
 	var out []SwitchID
 	for _, s := range t.switches {
-		if s.Programmable {
+		if s.Programmable && !t.downSw[s.ID] {
 			out = append(out, s.ID)
 		}
 	}
@@ -202,27 +215,45 @@ func (t *Topology) LinkBetween(a, b SwitchID) (Link, bool) {
 
 // Connected reports whether the topology is a single connected
 // component (ignoring a topology with no switches, which is connected
-// vacuously).
+// vacuously). With fault state present, connectivity is judged over the
+// surviving subgraph: down switches and down links are removed, and the
+// remaining up switches must form one component. All switches down is
+// vacuously connected.
 func (t *Topology) Connected() bool {
 	if len(t.switches) == 0 {
 		return true
 	}
+	start := SwitchID(-1)
+	up := 0
+	for _, s := range t.switches {
+		if t.downSw[s.ID] {
+			continue
+		}
+		up++
+		if start < 0 {
+			start = s.ID
+		}
+	}
+	if up == 0 {
+		return true
+	}
 	seen := make([]bool, len(t.switches))
-	stack := []SwitchID{0}
-	seen[0] = true
+	stack := []SwitchID{start}
+	seen[start] = true
 	count := 1
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, e := range t.adj[n] {
-			if !seen[e.to] {
-				seen[e.to] = true
-				count++
-				stack = append(stack, e.to)
+			if seen[e.to] || t.downSw[e.to] || t.downLink[e.link] {
+				continue
 			}
+			seen[e.to] = true
+			count++
+			stack = append(stack, e.to)
 		}
 	}
-	return count == len(t.switches)
+	return count == up
 }
 
 // Path is a walk through the network: a sequence of switch IDs where
@@ -302,6 +333,9 @@ func (t *Topology) shortestPathAvoiding(src, dst SwitchID, bannedSw map[SwitchID
 	if bannedSw[src] || bannedSw[dst] {
 		return Path{}, fmt.Errorf("network: endpoints banned")
 	}
+	if t.downSw[src] || t.downSw[dst] {
+		return Path{}, fmt.Errorf("network: endpoint switch down")
+	}
 	dist[src] = int64(t.switches[src].TransitLatency)
 	// Simple O(V^2) Dijkstra; topologies here are small (≤ a few
 	// hundred nodes), and this avoids heap bookkeeping.
@@ -322,7 +356,7 @@ func (t *Topology) shortestPathAvoiding(src, dst SwitchID, bannedSw map[SwitchID
 		}
 		done[u] = true
 		for _, e := range t.adj[u] {
-			if done[e.to] || bannedSw[e.to] || bannedLink[e.link] {
+			if done[e.to] || bannedSw[e.to] || bannedLink[e.link] || t.downSw[e.to] || t.downLink[e.link] {
 				continue
 			}
 			alt := dist[u] + int64(t.links[e.link].Latency) + int64(t.switches[e.to].TransitLatency)
@@ -367,6 +401,9 @@ func (t *Topology) KShortestPaths(src, dst SwitchID, k int) ([]Path, error) {
 		sw, err := t.Switch(src)
 		if err != nil {
 			return nil, err
+		}
+		if t.downSw[src] {
+			return nil, fmt.Errorf("network: no path from %d to %d: switch down", src, dst)
 		}
 		return []Path{{Switches: []SwitchID{src}, Latency: sw.TransitLatency}}, nil
 	}
@@ -534,6 +571,7 @@ func (t *Topology) Clone() *Topology {
 			panic("network: clone re-add failed: " + err.Error())
 		}
 	}
+	c.copyFaultState(t)
 	return c
 }
 

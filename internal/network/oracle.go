@@ -19,9 +19,9 @@
 // early-exit per-pair variant exactly (see TestOracleMatchesUncached).
 //
 // The cache is guarded by an RWMutex, invalidated wholesale on
-// AddSwitch/AddLink, and never shared across Clone — a clone starts
-// cold. Returned paths are fresh copies; callers may keep or mutate
-// them freely.
+// AddSwitch/AddLink and on every fault-layer mutation (fault.go), and
+// never shared across Clone — a clone starts cold. Returned paths are
+// fresh copies; callers may keep or mutate them freely.
 package network
 
 import (
@@ -198,6 +198,11 @@ func (t *Topology) computeSSSP(src SwitchID) *ssspTree {
 		dist[i] = infDist
 		prev[i] = -1
 	}
+	// A down source reaches nothing (and nothing reaches it via the
+	// neighbor skip below): return the all-unreachable tree.
+	if t.downSw[src] {
+		return &ssspTree{dist: dist, prev: prev}
+	}
 	dist[src] = int64(t.switches[src].TransitLatency)
 	for {
 		u := SwitchID(-1)
@@ -213,7 +218,7 @@ func (t *Topology) computeSSSP(src SwitchID) *ssspTree {
 		}
 		done[u] = true
 		for _, e := range t.adj[u] {
-			if done[e.to] {
+			if done[e.to] || t.downSw[e.to] || t.downLink[e.link] {
 				continue
 			}
 			alt := dist[u] + int64(t.links[e.link].Latency) + int64(t.switches[e.to].TransitLatency)
@@ -265,7 +270,7 @@ func (t *Topology) programmableByLatency(src SwitchID) []progCand {
 	tree := t.ssspFrom(src)
 	var cands []progCand
 	for _, s := range t.switches {
-		if !s.Programmable || s.ID == src || tree.dist[s.ID] == infDist {
+		if !s.Programmable || s.ID == src || t.downSw[s.ID] || tree.dist[s.ID] == infDist {
 			continue
 		}
 		cands = append(cands, progCand{id: s.ID, lat: time.Duration(tree.dist[s.ID])})

@@ -1,0 +1,60 @@
+package placement
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestCanceledContextAbortsSolvers: an already-canceled context must
+// make every solver (and the replan engine) fail promptly with the
+// context's error instead of burning its deadline.
+func TestCanceledContextAbortsSolvers(t *testing.T) {
+	g, tp := figure1(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := Options{Ctx: ctx}
+
+	for _, s := range []Solver{Greedy{}, Exact{}, ILP{}} {
+		if _, err := s.Solve(g, tp, opts); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s with canceled ctx = %v, want context.Canceled", s.Name(), err)
+		}
+	}
+
+	plan, err := (Greedy{}).Solve(g, tp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ReplanWithOptions(plan, Greedy{},
+		ReplanOptions{Options: opts}, plan.UsedSwitches()[0])
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("replan with canceled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestContextNilIsUncancelable: the zero Options must keep working —
+// a nil Ctx never cancels.
+func TestContextNilIsUncancelable(t *testing.T) {
+	g, tp := figure1(t)
+	if _, err := (Greedy{}).Solve(g, tp, Options{}); err != nil {
+		t.Fatalf("nil ctx solve failed: %v", err)
+	}
+}
+
+// TestCancelMidReplan: a context canceled before the repair pass runs
+// must abort the counter-gated repair loop.
+func TestCancelMidReplan(t *testing.T) {
+	g, tp := figure1(t)
+	plan, err := (Greedy{}).Solve(g, tp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	drained := plan.UsedSwitches()[0]
+	cancel()
+	_, _, err = ReplanWithOptions(plan, Greedy{},
+		ReplanOptions{Options: Options{Ctx: ctx}, Mode: ReplanIncremental}, drained)
+	if err == nil {
+		t.Fatal("canceled incremental replan succeeded")
+	}
+}

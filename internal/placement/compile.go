@@ -66,6 +66,11 @@ type CompiledInstance struct {
 
 	rm    program.ResourceModel
 	links int
+	// epoch pins the topology's fault state at compile time; a fault
+	// mutation (switch/link down or heal) bumps the topology's counter
+	// and forces a rebuild, since Programmable/Prog and lat bake the
+	// overlay in.
+	epoch uint64
 
 	// lat is the dense shortest-path latency table, fetched lazily:
 	// parallel Exact branches share one instance, so the fetch is
@@ -100,12 +105,16 @@ func (ci *CompiledInstance) matches(topo *network.Topology, rm program.ResourceM
 	if ci.Topo != topo || ci.rm != rm || int(ci.S) != topo.NumSwitches() || ci.links != topo.NumLinks() {
 		return false
 	}
+	if ci.epoch != topo.FaultEpoch() {
+		return false
+	}
 	for id := int32(0); id < ci.S; id++ {
 		sw, err := topo.Switch(network.SwitchID(id))
 		if err != nil {
 			return false
 		}
-		if sw.Programmable != ci.Programmable[id] ||
+		up := sw.Programmable && !topo.SwitchIsDown(network.SwitchID(id))
+		if up != ci.Programmable[id] ||
 			int32(sw.Stages) != ci.Stages[id] ||
 			sw.StageCapacity != ci.StageCap[id] {
 			return false
@@ -130,6 +139,7 @@ func compile(g *tdg.Graph, topo *network.Topology, rm program.ResourceModel) *Co
 		S:     int32(s),
 		rm:    rm,
 		links: topo.NumLinks(),
+		epoch: topo.FaultEpoch(),
 	}
 
 	ci.Req = make([]float64, len(names))
@@ -173,11 +183,14 @@ func compile(g *tdg.Graph, topo *network.Topology, rm program.ResourceModel) *Co
 		if err != nil {
 			continue
 		}
-		ci.Programmable[id] = sw.Programmable
+		// A down switch is indistinguishable from non-programmable for
+		// placement purposes; the epoch check above rebuilds on heal.
+		up := sw.Programmable && !topo.SwitchIsDown(sw.ID)
+		ci.Programmable[id] = up
 		ci.Stages[id] = int32(sw.Stages)
 		ci.StageCap[id] = sw.StageCapacity
 		ci.Caps[id] = sw.Capacity()
-		if sw.Programmable {
+		if up {
 			ci.Prog = append(ci.Prog, sw.ID)
 		}
 	}

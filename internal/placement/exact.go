@@ -160,6 +160,9 @@ func (st *exactState) subPair(cell, bytes int32) {
 // Solve implements Solver.
 func (e Exact) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Plan, error) {
 	start := time.Now()
+	if err := opts.canceled(); err != nil {
+		return nil, fmt.Errorf("placement: solve canceled: %w", err)
+	}
 	if g.NumNodes() == 0 {
 		return nil, fmt.Errorf("placement: empty TDG")
 	}
@@ -265,9 +268,21 @@ func (st *exactState) dfs(i int) {
 	if st.capped {
 		return
 	}
-	if total >= int64(st.maxNodes) || (!st.deadline.IsZero() && st.localNodes%1024 == 0 && time.Now().After(st.deadline)) {
+	if total >= int64(st.maxNodes) {
 		st.capped = true
 		return
+	}
+	if st.localNodes%1024 == 0 {
+		if !st.deadline.IsZero() && time.Now().After(st.deadline) {
+			st.capped = true
+			return
+		}
+		select {
+		case <-st.opts.done():
+			st.capped = true
+			return
+		default:
+		}
 	}
 	if i == len(st.orderIdx) {
 		st.evaluateLeaf()

@@ -42,6 +42,9 @@ func (Greedy) Name() string { return "Hermes" }
 // Solve implements Solver.
 func (gr Greedy) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Plan, error) {
 	start := time.Now()
+	if err := opts.canceled(); err != nil {
+		return nil, fmt.Errorf("placement: solve canceled: %w", err)
+	}
 	if g.NumNodes() == 0 {
 		return nil, fmt.Errorf("placement: empty TDG")
 	}

@@ -94,6 +94,9 @@ func EstimateVars(g *tdg.Graph, topo *network.Topology) int {
 // Solve implements Solver.
 func (s ILP) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Plan, error) {
 	start := time.Now()
+	if err := opts.canceled(); err != nil {
+		return nil, fmt.Errorf("placement: solve canceled: %w", err)
+	}
 	if g.NumNodes() == 0 {
 		return nil, fmt.Errorf("placement: empty TDG")
 	}
@@ -273,7 +276,7 @@ func (s ILP) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Plan, e
 	// Solve, repairing stage-infeasible optima with no-good cuts.
 	proven := true
 	for cut := 0; cut <= maxCuts; cut++ {
-		sol := m.Solve(milp.Options{Deadline: opts.Deadline})
+		sol := m.Solve(milp.Options{Deadline: opts.Deadline, Cancel: opts.done()})
 		switch sol.Status {
 		case milp.StatusOptimal:
 		case milp.StatusFeasible:

@@ -42,7 +42,7 @@ func localImproveFiltered(p *Plan, opts Options, rm program.ResourceModel, deadl
 	used := st.usedSwitches()
 	bestA, bestCross := st.pt.Max(), st.total
 	workers := opts.workers()
-	poll := newDeadlinePoller(deadline, 32)
+	poll := newDeadlinePoller(deadline, 32).withCancel(opts.done())
 
 	type candScore struct {
 		a, cross int

@@ -334,6 +334,11 @@ func (p *Plan) Validate(rm program.ResourceModel, eps1 time.Duration, eps2 int) 
 		if !sw.Programmable {
 			return fmt.Errorf("placement: MAT %q on non-programmable switch %q", n.Name(), sw.Name)
 		}
+		// Fault overlay: a down switch hosts nothing. Paired with lint
+		// rule HL112, which restates this check independently.
+		if p.Topo.SwitchIsDown(sp.Switch) {
+			return fmt.Errorf("placement: MAT %q on down switch %q", n.Name(), sw.Name)
+		}
 		if sp.Start < 0 || sp.End >= sw.Stages || sp.Start > sp.End {
 			return fmt.Errorf("placement: MAT %q on %s has stage range [%d,%d] outside 0..%d",
 				n.Name(), SwitchLabel(p.Topo, sp.Switch), sp.Start, sp.End, sw.Stages-1)

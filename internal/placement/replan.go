@@ -60,6 +60,14 @@ type ReplanOptions struct {
 	Options
 	// Mode selects the replan strategy; zero value is ReplanAuto.
 	Mode ReplanMode
+	// Topology, when non-nil, is the live topology to replan against
+	// instead of the old plan's snapshot. The supervisor passes the
+	// monitored topology here so the replan sees the current fault
+	// overlay (down switches/links) — old.Topo is a clone frozen at the
+	// previous solve and can be arbitrarily stale. The replan still
+	// clones, so the returned plan owns an independent topology carrying
+	// the fault state at replan time.
+	Topology *network.Topology
 	// FrontierDepth bounds the dependency frontier added to the dirty
 	// set: MATs within this many TDG hops of a drained MAT become
 	// movable during the repair polish (their assignments are kept as
@@ -144,10 +152,20 @@ func ReplanWithOptions(old *Plan, solver Solver, ropts ReplanOptions, drained ..
 	if solver == nil {
 		solver = Greedy{}
 	}
-	if len(drained) == 0 {
+	if err := ropts.canceled(); err != nil {
+		return nil, nil, fmt.Errorf("placement: replan canceled: %w", err)
+	}
+	base := ropts.Topology
+	if base == nil {
+		base = old.Topo
+	}
+	// A replan must have something to route around: explicit drains, or a
+	// fault overlay on the live topology (the supervisor's case — down
+	// switches displace their MATs exactly like drains, but reversibly).
+	if len(drained) == 0 && !base.HasFaults() {
 		return nil, nil, fmt.Errorf("placement: replan with no drained switches")
 	}
-	topo := old.Topo.Clone()
+	topo := base.Clone()
 	drainedSet := make(map[network.SwitchID]bool, len(drained))
 	for _, id := range drained {
 		sw, err := topo.Switch(id)
@@ -206,13 +224,13 @@ func repairPlan(old *Plan, topo *network.Topology, ropts ReplanOptions, drainedS
 	g := old.Graph
 	rm := ropts.resourceModel()
 
-	// Dirty set: MATs stranded on drained switches, plus the dependency
-	// frontier — MATs within frontierDepth TDG hops. Frontier MATs keep
-	// their switch as the starting point but join the polish, giving the
-	// local search room to co-locate across the healed cut.
+	// Dirty set: MATs stranded on drained or down switches, plus the
+	// dependency frontier — MATs within frontierDepth TDG hops. Frontier
+	// MATs keep their switch as the starting point but join the polish,
+	// giving the local search room to co-locate across the healed cut.
 	displaced := map[string]bool{}
 	for name, sp := range old.Assignments {
-		if drainedSet[sp.Switch] {
+		if drainedSet[sp.Switch] || topo.SwitchIsDown(sp.Switch) {
 			displaced[name] = true
 		}
 	}
@@ -283,7 +301,7 @@ func repairPlan(old *Plan, topo *network.Topology, ropts ReplanOptions, drainedS
 	ci.FillPairTable(dense, pt)
 	ms := ci.NewMoveScratch()
 	cyc := ci.NewCycleScratch()
-	poll := newDeadlinePoller(ropts.Deadline, 16)
+	poll := newDeadlinePoller(ropts.Deadline, 16).withCancel(ropts.done())
 	type cand struct {
 		u    network.SwitchID
 		amax int
@@ -294,7 +312,7 @@ func repairPlan(old *Plan, topo *network.Topology, ropts ReplanOptions, drainedS
 			continue
 		}
 		if poll.Expired() {
-			return nil, len(dirty), fmt.Errorf("deadline expired during repair placement")
+			return nil, len(dirty), fmt.Errorf("deadline expired or replan canceled during repair placement")
 		}
 		x := ci.Index[name]
 		cands = cands[:0]

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -35,6 +36,13 @@ type Options struct {
 	// findings. The internal/lint package registers the hook; with no
 	// hook registered the flag is a no-op.
 	Lint bool
+	// Ctx, when non-nil, allows canceling a solve in flight: the hot
+	// loops (local improve, the exact branch search, the MILP branch
+	// and bound, the replan repair) poll Ctx.Done() at the same
+	// counter-gated cadence as Deadline and abandon the solve with
+	// Ctx.Err(). The supervisor uses this to abort a superseded replan
+	// when a newer fault arrives. nil means not cancelable.
+	Ctx context.Context
 	// Warm seeds the solve with an existing plan over the same TDG.
 	// Greedy reuses the warm assignment outright (skipping segmentation)
 	// and only polishes it; Exact adopts it as the initial
@@ -68,6 +76,25 @@ func (o Options) resourceModel() program.ResourceModel {
 		return *o.Resources
 	}
 	return program.DefaultResourceModel
+}
+
+// done returns the cancellation channel, or nil (never ready) when the
+// solve is not cancelable. A nil channel is safe in a select with a
+// default branch.
+func (o Options) done() <-chan struct{} {
+	if o.Ctx != nil {
+		return o.Ctx.Done()
+	}
+	return nil
+}
+
+// canceled returns the context's error when the solve has been
+// canceled, nil otherwise.
+func (o Options) canceled() error {
+	if o.Ctx != nil {
+		return o.Ctx.Err()
+	}
+	return nil
 }
 
 // workers resolves the effective parallelism width.

@@ -42,7 +42,7 @@ func warmSeed(g *tdg.Graph, topo *network.Topology, opts Options) (map[string]ne
 	}
 	for u, names := range bySwitch {
 		sw, err := topo.Switch(u)
-		if err != nil || !sw.Programmable {
+		if err != nil || !sw.Programmable || topo.SwitchIsDown(u) {
 			return nil, false
 		}
 		if !FitsSwitch(g, names, sw, rm) {
@@ -174,9 +174,12 @@ func assignmentLatency(g *tdg.Graph, topo *network.Topology, assign map[string]n
 // deadlinePoller amortizes deadline checks over hot loops: Expired
 // reads the clock only once every interval calls (satisfying the
 // "counter-gated" requirement — time.Now is a syscall-class cost when
-// polled per candidate move). A zero deadline never expires.
+// polled per candidate move). A zero deadline never expires. An
+// optional cancellation channel (withCancel) is polled at the same
+// cadence, so a canceled solve is abandoned within one interval.
 type deadlinePoller struct {
 	deadline time.Time
+	done     <-chan struct{}
 	interval int
 	count    int
 	expired  bool
@@ -189,18 +192,31 @@ func newDeadlinePoller(deadline time.Time, interval int) *deadlinePoller {
 	return &deadlinePoller{deadline: deadline, interval: interval}
 }
 
+// withCancel attaches a cancellation channel (typically Options.done());
+// nil is accepted and never fires.
+func (d *deadlinePoller) withCancel(done <-chan struct{}) *deadlinePoller {
+	d.done = done
+	return d
+}
+
 func (d *deadlinePoller) Expired() bool {
 	if d.expired {
 		return true
 	}
-	if d.deadline.IsZero() {
+	if d.deadline.IsZero() && d.done == nil {
 		return false
 	}
 	d.count++
 	if d.count%d.interval != 0 {
 		return false
 	}
-	if time.Now().After(d.deadline) {
+	select {
+	case <-d.done:
+		d.expired = true
+		return true
+	default:
+	}
+	if !d.deadline.IsZero() && time.Now().After(d.deadline) {
 		d.expired = true
 	}
 	return d.expired
