@@ -7,16 +7,18 @@
 # functions, a small replan-baseline smoke run proving the
 # machine-readable bench output still emits, the core kernel smoke
 # gate proving the compiled scoring kernels hold their speed/alloc
-# floors over the retained map references, and the chaos smoke gate
+# floors over the retained map references, the chaos smoke gate
 # proving the fault-tolerant supervisor still recovers from an
 # injected fault schedule via incremental repair with zero invariant
-# violations.
+# violations, and the shard smoke gate proving region-sharded
+# placement still beats the whole-graph solver at equal workers with
+# bounded A_max inflation.
 
 GO ?= go
 
-.PHONY: check lint vet fmt-check hermeslint build test race bench-smoke bench bench-json replan-smoke core-smoke chaos-smoke bench-core-json bench-compare bench-survive-json bench-survive-compare profile
+.PHONY: check lint vet fmt-check hermeslint build test race bench-smoke bench bench-json replan-smoke core-smoke chaos-smoke shard-smoke bench-core-json bench-compare bench-survive-json bench-survive-compare bench-shard-json bench-shard-compare profile
 
-check: lint build race bench-smoke replan-smoke core-smoke chaos-smoke
+check: lint build race bench-smoke replan-smoke core-smoke chaos-smoke shard-smoke
 
 # Static analysis gate: gofmt (no unformatted files), go vet, and the
 # repo-specific hermeslint pass (mutex/Clone conventions around the
@@ -82,6 +84,13 @@ core-smoke:
 chaos-smoke:
 	$(GO) run ./cmd/hermes-bench -exp exp8 -smoke
 
+# Region-sharding smoke gate (Exp#10, small sweep): the sharded solver
+# must not fall back, must beat the whole-graph Greedy outright on the
+# same instance at equal workers, and may inflate A_max at most 1.5x.
+# Both sides run in-process, so the gate holds on any machine.
+shard-smoke:
+	$(GO) run ./cmd/hermes-bench -exp exp10 -smoke
+
 # Regenerate the committed survivability baseline (BENCH_survive.json
 # is what bench-survive-compare diffs against).
 bench-survive-json:
@@ -106,6 +115,19 @@ bench-core-json:
 # machine-speed skew between the baseline host and this one).
 bench-compare:
 	$(GO) run ./cmd/hermes-bench -exp core -compare BENCH_core.json
+
+# Regenerate the committed sharded-placement baseline, including the
+# 10k-switch / 5k-program point (minutes; run on a quiet machine).
+bench-shard-json:
+	$(GO) run ./cmd/hermes-bench -exp exp10 -full -json BENCH_shard.json
+
+# Sharding regression gate: a comparison row fails only if its solve
+# time regressed >10% against the committed BENCH_shard.json AND its
+# in-run speedup over the whole-graph solver degraded >10% (the dual
+# condition filters machine-speed skew); the sharded-only 10k row is
+# held to its structural invariants instead.
+bench-shard-compare:
+	$(GO) run ./cmd/hermes-bench -exp exp10 -compare BENCH_shard.json
 
 # CPU + heap profiles of the incremental replan path; inspect with
 # `go tool pprof results/cpu.pprof` / `go tool pprof results/mem.pprof`.

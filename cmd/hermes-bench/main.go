@@ -10,6 +10,7 @@
 //	hermes-bench -exp exp6    # switch resource consumption
 //	hermes-bench -exp exp7    # incremental replanning under churn
 //	hermes-bench -exp exp8    # survivability under injected faults
+//	hermes-bench -exp exp10   # region-sharded placement at scale
 //	hermes-bench -exp all
 //
 // Exp#2–Exp#5 iterate the ten Table III WAN topologies with up to 50
@@ -21,7 +22,10 @@
 // the kernel/end-to-end perf baseline (BENCH_core.json) instead; see
 // core.go for the -compare and -smoke gates. With -exp exp8, -json
 // writes the survivability baseline (BENCH_survive.json); see
-// survive.go for its structural -compare and -smoke gates.
+// survive.go for its structural -compare and -smoke gates. With
+// -exp exp10, -json writes the sharded-placement baseline
+// (BENCH_shard.json); see shard.go for its speedup/quality gates and
+// the -full flag that adds the 10k-switch / 5k-program point.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the
 // selected experiments, for `go tool pprof` analysis of the solver hot
@@ -52,7 +56,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("hermes-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig2, exp1, exp2, exp3, exp4, exp5, exp6, exp7, exp8, core, all")
+	exp := fs.String("exp", "all", "experiment: fig2, exp1, exp2, exp3, exp4, exp5, exp6, exp7, exp8, exp10, core, all")
 	programs := fs.Int("programs", 50, "concurrent programs for exp2-4 and exp7")
 	deadline := fs.Duration("deadline", 3*time.Second, "per-instance solver deadline for exact/ILP solvers")
 	ilp := fs.Bool("ilp", true, "run the genuinely ILP-backed comparison frameworks")
@@ -61,7 +65,8 @@ func run(args []string) error {
 	csvDir := fs.String("csv", "", "also write CSV files into this directory")
 	jsonPath := fs.String("json", "", "write exp7's replan baseline (or -exp core's perf baseline) as JSON to this path")
 	comparePath := fs.String("compare", "", "with -exp core: diff against this committed baseline, failing on >10% compiled-kernel ns/op regressions")
-	smoke := fs.Bool("smoke", false, "with -exp core: enforce the machine-independent compiled-vs-map ratio floors and skip end-to-end runs")
+	smoke := fs.Bool("smoke", false, "with -exp core/exp10: enforce the machine-independent in-run gates and skip the slow sweeps")
+	full := fs.Bool("full", false, "with -exp exp10: include the 10k-switch / 5k-program point (minutes of runtime)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this path")
 	memProfile := fs.String("memprofile", "", "write a heap profile taken after the selected experiments to this path")
 	if err := fs.Parse(args); err != nil {
@@ -87,7 +92,7 @@ func run(args []string) error {
 	}
 
 	runner := &runner{cfg: cfg, programs: *programs, csvDir: *csvDir,
-		jsonPath: *jsonPath, comparePath: *comparePath, smoke: *smoke}
+		jsonPath: *jsonPath, comparePath: *comparePath, smoke: *smoke, full: *full}
 	todo := strings.Split(*exp, ",")
 	if *exp == "all" {
 		todo = []string{"fig2", "exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7", "exp8"}
@@ -119,6 +124,7 @@ type runner struct {
 	jsonPath    string
 	comparePath string
 	smoke       bool
+	full        bool
 	// exp2 results are shared by exp3 and exp4.
 	topoRows []experiments.TopoRow
 }
@@ -143,6 +149,8 @@ func (r *runner) run(exp string) error {
 		return r.exp7()
 	case "exp8":
 		return r.exp8()
+	case "exp10":
+		return r.exp10()
 	case "core":
 		return r.core()
 	default:

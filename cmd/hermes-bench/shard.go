@@ -1,0 +1,267 @@
+// The "exp10" experiment measures region-sharded placement at scale:
+// the sharded solver against the whole-graph Greedy on seeded
+// composite WANs, producing the BENCH_shard.json perf baseline:
+//
+//	hermes-bench -exp exp10 -full -json BENCH_shard.json # baseline incl. the 10k point
+//	hermes-bench -exp exp10 -compare BENCH_shard.json    # fail on sharded-solve regression
+//	hermes-bench -exp exp10 -smoke                       # machine-independent speedup/quality gate
+//
+// Both solvers run on the same merged TDG with the same Options, so
+// the speedup column is a like-for-like measurement of region
+// decomposition + boundary exchange against the monolithic search it
+// shards. The -full sweep adds the 10,000-switch / 5,000-program
+// point where only the sharded side is practical; its row carries no
+// comparison columns and the gates check it structurally.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/hermes-net/hermes/internal/experiments"
+)
+
+const (
+	// shardSmokeAMaxRatio caps the quality price of sharding in -smoke:
+	// the sharded A_max may not exceed 1.5x the whole-graph result.
+	// Both sides are measured in the same run, so the gate is
+	// machine-independent.
+	shardSmokeAMaxRatio = 1.5
+	// shardCompareSlack mirrors coreCompareSlack: a row fails -compare
+	// only when its raw solve time regressed more than 10% AND its
+	// in-run speedup over the whole-graph solver (which self-calibrates
+	// for machine speed) degraded more than 10%.
+	shardCompareSlack = 1.10
+)
+
+// shardRowJSON is one Exp#10 row in the machine-readable baseline.
+type shardRowJSON struct {
+	Topology     string  `json:"topology"`
+	Switches     int     `json:"switches"`
+	Programmable int     `json:"programmable"`
+	Programs     int     `json:"programs"`
+	MATs         int     `json:"mats"`
+	Shards       int     `json:"shards"`
+	WholeMs      float64 `json:"whole_ms"`
+	WholeAMax    int     `json:"whole_amax_bytes"`
+	ShardMs      float64 `json:"shard_ms"`
+	ShardAMax    int     `json:"shard_amax_bytes"`
+	Speedup      float64 `json:"speedup"`
+	AMaxRatio    float64 `json:"amax_ratio"`
+	Hosts        int     `json:"boundary_hosts"`
+	Rounds       int     `json:"exchange_rounds"`
+	Moves        int     `json:"exchange_moves"`
+	FellBack     bool    `json:"fell_back"`
+	PartitionMs  float64 `json:"partition_ms"`
+	RegionMs     float64 `json:"region_ms"`
+	ExchangeMs   float64 `json:"exchange_ms"`
+}
+
+// shardBaselineJSON is the BENCH_shard.json document.
+type shardBaselineJSON struct {
+	Experiment string         `json:"experiment"`
+	Seed       int64          `json:"seed"`
+	Workers    int            `json:"workers"`
+	Full       bool           `json:"full"`
+	Rows       []shardRowJSON `json:"rows"`
+}
+
+func shardRow(p experiments.ShardPoint) shardRowJSON {
+	return shardRowJSON{
+		Topology: p.Topology, Switches: p.Switches, Programmable: p.Programmable,
+		Programs: p.Programs, MATs: p.MATs, Shards: p.Shards,
+		WholeMs: round3(p.WholeMs), WholeAMax: p.WholeAMax,
+		ShardMs: round3(p.ShardMs), ShardAMax: p.ShardAMax,
+		Speedup: round3(p.Speedup), AMaxRatio: round3(p.AMaxRatio),
+		Hosts: p.Hosts, Rounds: p.Rounds, Moves: p.Moves, FellBack: p.FellBack,
+		PartitionMs: round3(p.PartitionMs), RegionMs: round3(p.RegionMs), ExchangeMs: round3(p.ExchangeMs),
+	}
+}
+
+// exp10 runs the sharded-placement sweep, prints the table, and
+// applies whichever gate the flags selected.
+func (r *runner) exp10() error {
+	mode := "baseline"
+	if r.smoke {
+		mode = "smoke"
+	} else if r.comparePath != "" {
+		mode = "compare"
+	}
+	full := r.full && !r.smoke
+	fmt.Printf("## Exp#10: region-sharded placement vs whole-graph Greedy (%s)\n", mode)
+	if full {
+		fmt.Println("  (full sweep: includes the 10k-switch / 5k-program point; expect minutes)")
+	}
+
+	pts, err := experiments.Exp10(r.cfg, full)
+	if err != nil {
+		return err
+	}
+	doc := shardBaselineJSON{Experiment: "exp10", Seed: r.cfg.Seed, Workers: r.cfg.Workers, Full: full}
+	for _, p := range pts {
+		doc.Rows = append(doc.Rows, shardRow(p))
+	}
+
+	fmt.Printf("  %-14s %8s %6s %7s %7s %12s %12s %8s %7s %6s %6s %6s\n",
+		"topology", "switches", "progs", "MATs", "shards", "whole", "sharded", "speedup", "A_max", "hosts", "rounds", "moves")
+	csvRows := [][]string{{"topology", "switches", "programmable", "programs", "mats", "shards",
+		"whole_ms", "whole_amax_bytes", "shard_ms", "shard_amax_bytes", "speedup", "amax_ratio",
+		"boundary_hosts", "exchange_rounds", "exchange_moves", "fell_back",
+		"partition_ms", "region_ms", "exchange_ms"}}
+	for _, row := range doc.Rows {
+		whole, speed, ratio := "-", "-", "-"
+		if row.WholeMs > 0 {
+			whole = fmt.Sprintf("%.1fms", row.WholeMs)
+			speed = fmt.Sprintf("%.2fx", row.Speedup)
+			ratio = fmt.Sprintf("%.3f", row.AMaxRatio)
+		}
+		fmt.Printf("  %-14s %8d %6d %7d %7d %12s %12s %8s %7s %6d %6d %6d\n",
+			row.Topology, row.Switches, row.Programs, row.MATs, row.Shards,
+			whole, fmt.Sprintf("%.1fms", row.ShardMs), speed, ratio,
+			row.Hosts, row.Rounds, row.Moves)
+		csvRows = append(csvRows, []string{
+			row.Topology, strconv.Itoa(row.Switches), strconv.Itoa(row.Programmable),
+			strconv.Itoa(row.Programs), strconv.Itoa(row.MATs), strconv.Itoa(row.Shards),
+			fmt.Sprintf("%.3f", row.WholeMs), strconv.Itoa(row.WholeAMax),
+			fmt.Sprintf("%.3f", row.ShardMs), strconv.Itoa(row.ShardAMax),
+			fmt.Sprintf("%.3f", row.Speedup), fmt.Sprintf("%.3f", row.AMaxRatio),
+			strconv.Itoa(row.Hosts), strconv.Itoa(row.Rounds), strconv.Itoa(row.Moves),
+			strconv.FormatBool(row.FellBack),
+			fmt.Sprintf("%.3f", row.PartitionMs), fmt.Sprintf("%.3f", row.RegionMs), fmt.Sprintf("%.3f", row.ExchangeMs),
+		})
+	}
+	fmt.Println()
+
+	if r.smoke {
+		return shardSmokeGate(doc.Rows)
+	}
+	if r.comparePath != "" {
+		return shardCompareGate(r.comparePath, doc)
+	}
+	if r.jsonPath != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(r.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing shard baseline: %w", err)
+		}
+		fmt.Printf("  shard baseline written to %s\n\n", r.jsonPath)
+	}
+	return r.writeCSV("exp10.csv", csvRows)
+}
+
+// shardSmokeGate enforces the in-run acceptance criteria: the sharded
+// solver never falls back to whole-graph, beats the whole-graph solver
+// outright on every comparison row at equal workers, and pays at most
+// shardSmokeAMaxRatio in A_max for the decomposition. All comparisons
+// are between two measurements from the same run on the same host.
+func shardSmokeGate(rows []shardRowJSON) error {
+	var failures []string
+	for _, row := range rows {
+		if row.FellBack {
+			failures = append(failures, fmt.Sprintf(
+				"%s: sharded solver fell back to whole-graph", row.Topology))
+			continue
+		}
+		if row.ShardAMax <= 0 {
+			failures = append(failures, fmt.Sprintf(
+				"%s: sharded plan has no A_max (empty plan?)", row.Topology))
+		}
+		if row.WholeMs <= 0 {
+			continue // sharded-only row: structural checks only
+		}
+		if row.ShardMs >= row.WholeMs {
+			failures = append(failures, fmt.Sprintf(
+				"%s: sharded solve %.1fms not faster than whole-graph %.1fms", row.Topology, row.ShardMs, row.WholeMs))
+		}
+		if row.AMaxRatio > shardSmokeAMaxRatio {
+			failures = append(failures, fmt.Sprintf(
+				"%s: A_max ratio %.3f exceeds %.1f quality gate", row.Topology, row.AMaxRatio, shardSmokeAMaxRatio))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Println("  FAIL:", f)
+		}
+		return fmt.Errorf("shard smoke gate failed (%d row(s))", len(failures))
+	}
+	fmt.Printf("  shard smoke gate passed: sharded faster than whole-graph on every row, A_max within %.1fx\n",
+		shardSmokeAMaxRatio)
+	return nil
+}
+
+// shardCompareGate diffs the fresh sweep against the committed
+// baseline. Comparison rows fail only on the dual condition (raw
+// shard_ms regression AND in-run speedup degradation, both beyond the
+// slack) so uniform machine slowdowns do not read as code regressions.
+// Sharded-only rows have no in-run calibration; they are held to the
+// structural invariants instead (no fallback, quality no worse than
+// the baseline by more than the slack).
+func shardCompareGate(path string, cur shardBaselineJSON) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading shard baseline: %w", err)
+	}
+	var base shardBaselineJSON
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing shard baseline %s: %w", path, err)
+	}
+	baseline := make(map[string]shardRowJSON, len(base.Rows))
+	for _, row := range base.Rows {
+		baseline[row.Topology] = row
+	}
+	var failures []string
+	fmt.Printf("  %-14s %16s %14s %8s %14s\n", "topology", "baseline ms", "current ms", "delta", "speedup drift")
+	for _, row := range cur.Rows {
+		b, ok := baseline[row.Topology]
+		if !ok {
+			fmt.Printf("  %-14s %16s %14.1f %8s %14s  (not in baseline)\n", row.Topology, "-", row.ShardMs, "-", "-")
+			continue
+		}
+		if row.FellBack {
+			failures = append(failures, fmt.Sprintf("%s: sharded solver fell back to whole-graph", row.Topology))
+			continue
+		}
+		delta := 0.0
+		if b.ShardMs > 0 {
+			delta = row.ShardMs/b.ShardMs - 1
+		}
+		drift := 0.0
+		if b.Speedup > 0 {
+			drift = row.Speedup/b.Speedup - 1
+		}
+		fmt.Printf("  %-14s %16.1f %14.1f %+7.1f%% %+13.1f%%\n",
+			row.Topology, b.ShardMs, row.ShardMs, delta*100, drift*100)
+		if row.WholeMs > 0 && b.Speedup > 0 {
+			rawRegressed := b.ShardMs > 0 && row.ShardMs > b.ShardMs*shardCompareSlack
+			speedupRegressed := row.Speedup < b.Speedup/shardCompareSlack
+			if rawRegressed && speedupRegressed {
+				failures = append(failures, fmt.Sprintf(
+					"%s: sharded solve regressed %.1f%% in ms and %.1f%% in speedup over whole-graph (baseline %.1fms at %.2fx, now %.1fms at %.2fx)",
+					row.Topology, delta*100, -drift*100, b.ShardMs, b.Speedup, row.ShardMs, row.Speedup))
+			}
+		} else if b.ShardAMax > 0 {
+			// Sharded-only row: time is not self-calibrating, so only
+			// the solution quality is gated against the baseline.
+			if float64(row.ShardAMax) > float64(b.ShardAMax)*shardCompareSlack {
+				failures = append(failures, fmt.Sprintf(
+					"%s: sharded A_max %dB exceeds baseline %dB by more than %.0f%%",
+					row.Topology, row.ShardAMax, b.ShardAMax, (shardCompareSlack-1)*100))
+			}
+		}
+	}
+	fmt.Println()
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Println("  FAIL:", f)
+		}
+		return fmt.Errorf("shard compare gate failed (%d regression(s) beyond %.0f%%)",
+			len(failures), (shardCompareSlack-1)*100)
+	}
+	fmt.Printf("  shard compare gate passed: no sharded solve regressed beyond %.0f%% of %s\n",
+		(shardCompareSlack-1)*100, path)
+	return nil
+}

@@ -54,7 +54,7 @@ func run(args []string) error {
 	}
 	fs := flag.NewFlagSet("hermes", flag.ContinueOnError)
 	workloadFlag := fs.String("workload", "real:4", "workload spec (real:N, synthetic:N, sketches:N, mixed:N, file:PATH, p4:FILE[,FILE...])")
-	topoFlag := fs.String("topology", "linear:3", "topology spec (linear:N, fattree:K, table3:I, wan:N,E)")
+	topoFlag := fs.String("topology", "linear:3", "topology spec (linear:N, fattree:K, table3:I, wan:N,E, composite:R)")
 	solverFlag := fs.String("solver", "hermes", "solver (hermes, optimal, ilp, ms, sonata, speed, mtp, fp, p4all, ffl, ffls, all)")
 	eps1 := fs.Duration("eps1", 0, "ε1: bound on end-to-end coordination latency (0 = unbounded)")
 	eps2 := fs.Int("eps2", 0, "ε2: bound on occupied switches (0 = unbounded)")
@@ -62,6 +62,7 @@ func run(args []string) error {
 	capacity := fs.Float64("stage-capacity", 0, "override per-stage capacity (0 = spec default)")
 	deadline := fs.Duration("deadline", 30*time.Second, "solver deadline for exact/ILP solvers")
 	workers := fs.Int("workers", 0, "solver parallelism (0 = GOMAXPROCS); the plan is identical for every value")
+	shards := fs.Int("shards", 0, "region-sharded placement: split the topology into this many regions solved concurrently (0 = whole-graph)")
 	jsonOut := fs.Bool("json", false, "emit the plan as JSON")
 	emitBundle := fs.String("emit-bundle", "", "write the resolved workload as a JSON bundle to this path and exit")
 	verify := fs.Bool("verify", false, "drive packets through the deployment and check equivalence")
@@ -119,12 +120,21 @@ func run(args []string) error {
 	}
 
 	for _, solver := range solvers {
+		// -shards upgrades the Hermes heuristic to its region-sharded
+		// variant; other solvers see the value via SolveOptions.Shards
+		// and ignore it unless they have a sharded mode.
+		if *shards > 1 {
+			if _, ok := solver.(placement.Greedy); ok {
+				solver = hermes.ShardedSolver{}
+			}
+		}
 		res, err := hermes.Deploy(progs, topo, hermes.DeployOptions{
 			Solver:         solver,
 			Epsilon1:       *eps1,
 			Epsilon2:       *eps2,
 			SolverDeadline: *deadline,
 			Workers:        *workers,
+			Shards:         *shards,
 		})
 		if err != nil {
 			fmt.Printf("%-8s failed: %v\n", solver.Name(), err)
@@ -300,6 +310,12 @@ func parseTopology(spec string, seed int64, capacity float64) (*hermes.Topology,
 			return nil, fmt.Errorf("topology spec %q: bad sizes", spec)
 		}
 		return network.RandomWAN("wan", nodes, edges, sw, seed)
+	case "composite":
+		r, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("topology spec %q: bad region count", spec)
+		}
+		return network.CompositeWAN(r, sw, seed)
 	default:
 		return nil, fmt.Errorf("unknown topology kind %q", kind)
 	}

@@ -3,6 +3,7 @@
 //	topogen -table3           # print the ten Table III WANs
 //	topogen -spec linear:5    # summarize one topology
 //	topogen -spec fattree:4 -dot  # Graphviz output
+//	topogen -spec composite:30 -partition 4  # region partition text form
 package main
 
 import (
@@ -25,9 +26,10 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
 	table3 := fs.Bool("table3", false, "print the ten Table III topologies")
-	spec := fs.String("spec", "", "generate one topology (linear:N, fattree:K, table3:I, wan:N,E)")
+	spec := fs.String("spec", "", "generate one topology (linear:N, fattree:K, table3:I, wan:N,E, composite:R)")
 	seed := fs.Int64("seed", 1, "generator seed")
 	dot := fs.Bool("dot", false, "emit Graphviz DOT instead of a summary")
+	partition := fs.Int("partition", 0, "partition the topology into K regions and print the text form")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +63,14 @@ func run(args []string) error {
 	tp, err := buildSpec(*spec, *seed)
 	if err != nil {
 		return err
+	}
+	if *partition > 0 {
+		p, err := network.PartitionRegions(tp, *partition, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(p.Format())
+		return nil
 	}
 	if *dot {
 		fmt.Print(dotGraph(tp))
@@ -106,6 +116,12 @@ func buildSpec(spec string, seed int64) (*network.Topology, error) {
 			return nil, fmt.Errorf("spec %q: bad sizes", spec)
 		}
 		return network.RandomWAN("wan", nodes, edges, network.TofinoSpec(), seed)
+	case "composite":
+		r, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, err
+		}
+		return network.CompositeWAN(r, network.TofinoSpec(), seed)
 	default:
 		return nil, fmt.Errorf("unknown topology kind %q", kind)
 	}

@@ -38,6 +38,7 @@ import (
 	"github.com/hermes-net/hermes/internal/network"
 	"github.com/hermes-net/hermes/internal/p4lite"
 	"github.com/hermes-net/hermes/internal/placement"
+	"github.com/hermes-net/hermes/internal/placement/shard"
 	"github.com/hermes-net/hermes/internal/program"
 	"github.com/hermes-net/hermes/internal/supervisor"
 	"github.com/hermes-net/hermes/internal/tdg"
@@ -168,6 +169,37 @@ var (
 	ILPSolver Solver = placement.ILP{}
 )
 
+// ShardedSolver is the region-sharded Greedy for very large
+// topologies: it partitions the network into SolveOptions.Shards
+// regions, solves them concurrently, and reconciles region boundaries
+// with bounded exchange rounds. On small instances (or Shards <= 1) it
+// falls back to whole-graph Greedy.
+type ShardedSolver = shard.ShardedGreedy
+
+// ShardStats is the sharded solver's run telemetry (region count,
+// exchange rounds, accepted migrations, A_max before/after).
+type ShardStats = shard.Stats
+
+// PartitionTopology partitions a topology into k capacity-balanced
+// connected regions, deterministic in seed — the sharded solver's
+// first phase, exposed for offline partition inspection (see
+// topogen -partition).
+func PartitionTopology(t *Topology, k int, seed int64) (*network.Partition, error) {
+	return network.PartitionRegions(t, k, seed)
+}
+
+// CompositeWANTopology builds a large WAN stitched from Table III-sized
+// regions — the evaluation substrate for the sharded solver.
+func CompositeWANTopology(regions int, spec SwitchSpec, seed int64) (*Topology, error) {
+	return network.CompositeWAN(regions, spec, seed)
+}
+
+// FatTreeTopology builds a k-ary fat-tree (k even): the standard DCN
+// shape, 1.25*k^2 switches.
+func FatTreeTopology(k int, spec SwitchSpec, seed int64) (*Topology, error) {
+	return network.FatTree(k, spec, seed)
+}
+
 // Baselines returns the eight comparison frameworks of the paper's
 // evaluation (MS, Sonata, SPEED, MTP, FP, P4All, FFL, FFLS).
 func Baselines() []Solver { return baseline.All() }
@@ -198,6 +230,13 @@ type DeployOptions struct {
 	// scoring, branch search). Zero or negative means GOMAXPROCS; every
 	// worker count produces the same plan.
 	Workers int
+	// Shards requests region-sharded placement: when > 1 and Solver is
+	// nil, Deploy uses ShardedSolver instead of GreedySolver, splitting
+	// the topology into this many regions solved concurrently and
+	// reconciled at the boundaries. Explicit Solvers receive the value
+	// through SolveOptions.Shards and honor it if they have a sharded
+	// mode. Zero means whole-graph solving.
+	Shards int
 	// Analyze tunes the program analysis step.
 	Analyze AnalyzeOptions
 	// Lint runs the static diagnostics engine (internal/lint) over the
@@ -230,7 +269,11 @@ func Deploy(progs []*Program, topo *Topology, opts DeployOptions) (*Result, erro
 	}
 	solver := opts.Solver
 	if solver == nil {
-		solver = GreedySolver
+		if opts.Shards > 1 {
+			solver = shard.ShardedGreedy{}
+		} else {
+			solver = GreedySolver
+		}
 	}
 	popts := placement.Options{
 		Epsilon1: opts.Epsilon1,
@@ -238,6 +281,7 @@ func Deploy(progs []*Program, topo *Topology, opts DeployOptions) (*Result, erro
 		Workers:  opts.Workers,
 		Lint:     opts.Lint,
 		Ctx:      opts.Ctx,
+		Shards:   opts.Shards,
 	}
 	if opts.SolverDeadline > 0 {
 		popts.Deadline = time.Now().Add(opts.SolverDeadline)

@@ -1,6 +1,7 @@
 package merge
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/hermes-net/hermes/internal/fields"
@@ -150,6 +151,117 @@ func TestTwoIdenticalGraphsCollapse(t *testing.T) {
 	if m.NumNodes() != g.NumNodes() || m.NumEdges() != g.NumEdges() {
 		t.Errorf("merging a graph with itself changed shape: %d/%d vs %d/%d",
 			m.NumNodes(), m.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+}
+
+// TestGraphsMatchesPairwiseFold pins the indexed incremental merger to
+// the reference semantics: folding the inputs one by one through Two
+// must produce the same nodes (in the same insertion order), the same
+// origins, and the same edges. The input mix exercises unification
+// across programs, non-unifiable same-shape tables, and the cyclic
+// pair that forces the plain-union fallback mid-fold.
+func TestGraphsMatchesPairwiseFold(t *testing.T) {
+	mkDistinct := func(name string, capacity int) *tdg.Graph {
+		p := program.NewBuilder(name).
+			Table("acl", capacity).
+			Key(fields.Header("ipv4.srcAddr", 32), program.MatchTernary).
+			ActionDef("drop", program.SetOp(fields.Metadata("meta.drop", 8), 1)).
+			MustBuild()
+		g, err := tdg.FromProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	mkPair := func(prog string, forward bool) *tdg.Graph {
+		matA := &program.MAT{
+			Name: prog + "/a", Capacity: 4,
+			Actions: []program.Action{{Name: "w", Ops: []program.Op{
+				program.SetOp(fields.Metadata("meta.a", 8), 1)}}},
+		}
+		matX := &program.MAT{
+			Name: prog + "/x", Capacity: 4,
+			Actions: []program.Action{{Name: "w", Ops: []program.Op{
+				program.SetOp(fields.Metadata("meta.x", 8), 1)}}},
+		}
+		g := tdg.New()
+		for _, m := range []*program.MAT{matA, matX} {
+			if err := g.AddNode(m, prog); err != nil {
+				t.Fatal(err)
+			}
+		}
+		from, to := matA.Name, matX.Name
+		if !forward {
+			from, to = to, from
+		}
+		if err := g.AddEdge(from, to, tdg.DepSuccessor, 1); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	build := func() []*tdg.Graph {
+		var in []*tdg.Graph
+		for _, n := range []string{"cm", "bloom", "hll", "dedup"} {
+			in = append(in, sketchProgram(t, n))
+		}
+		in = append(in, mkDistinct("acl1", 100), mkDistinct("acl2", 200))
+		// Opposite-order equivalent pair: unifying it against the pair
+		// already folded in would close a cycle, forcing the fallback.
+		in = append(in, mkPair("cyc1", true), mkPair("cyc2", false))
+		return in
+	}
+
+	inputs := build()
+	ref := inputs[0].Clone()
+	for _, g := range inputs[1:] {
+		var err error
+		ref, err = Two(ref, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, err := Graphs(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	refNames, gotNames := ref.NodeNames(), got.NodeNames()
+	if len(refNames) != len(gotNames) {
+		t.Fatalf("node count: fold %d, Graphs %d\nfold: %v\nGraphs: %v",
+			len(refNames), len(gotNames), refNames, gotNames)
+	}
+	for i := range refNames {
+		if refNames[i] != gotNames[i] {
+			t.Fatalf("node order diverges at %d: fold %q, Graphs %q", i, refNames[i], gotNames[i])
+		}
+		rn, _ := ref.Node(refNames[i])
+		gn, _ := got.Node(gotNames[i])
+		if len(rn.Origin) != len(gn.Origin) {
+			t.Fatalf("node %q origins: fold %v, Graphs %v", refNames[i], rn.Origin, gn.Origin)
+		}
+		for j := range rn.Origin {
+			if rn.Origin[j] != gn.Origin[j] {
+				t.Fatalf("node %q origins: fold %v, Graphs %v", refNames[i], rn.Origin, gn.Origin)
+			}
+		}
+	}
+
+	edgeSet := func(g *tdg.Graph) map[string]string {
+		out := make(map[string]string)
+		for _, e := range g.Edges() {
+			out[e.From+"->"+e.To] = fmt.Sprintf("%v/%d", e.Type, e.MetadataBytes)
+		}
+		return out
+	}
+	re, ge := edgeSet(ref), edgeSet(got)
+	if len(re) != len(ge) {
+		t.Fatalf("edge count: fold %d, Graphs %d", len(re), len(ge))
+	}
+	for k, v := range re {
+		if ge[k] != v {
+			t.Errorf("edge %s: fold %s, Graphs %s", k, v, ge[k])
+		}
 	}
 }
 

@@ -245,6 +245,93 @@ func markProgrammable(t *Topology, spec SwitchSpec, rng *rand.Rand) {
 	}
 }
 
+// CompositeWAN stitches `regions` Table III-sized WAN regions into one
+// connected topology — the scaled evaluation substrate for the
+// region-sharded solver (Exp#10 extends the paper's Fig. 9 curve by two
+// orders of magnitude with these). Region i is an independent
+// RandomWAN with the node/edge counts of Table III row (i mod 10),
+// seeded from seed+i+1 so every region differs deterministically;
+// switch names are prefixed r<i>_ and region i occupies the contiguous
+// ID range starting at i's base. Consecutive regions are stitched by
+// two inter-region links (plus a ring-closing pair and a few long
+// chords once regions > 2), mirroring how real WAN interconnects join
+// metro fabrics: boundary edges are sparse relative to intra-region
+// edges, which is exactly the regime the boundary-exchange
+// reconciliation targets. ~70 switches per region: composite-30 is
+// ~2.1k switches, composite-143 is ~10k.
+func CompositeWAN(regions int, spec SwitchSpec, seed int64) (*Topology, error) {
+	if regions <= 0 {
+		return nil, fmt.Errorf("network: composite WAN needs regions > 0, got %d", regions)
+	}
+	t := NewTopology(fmt.Sprintf("composite-%d", regions))
+	rng := rand.New(rand.NewSource(seed))
+	base := make([]SwitchID, regions)
+	size := make([]int, regions)
+	for i := 0; i < regions; i++ {
+		row := tableIII[i%len(tableIII)]
+		nodes, edges := row.nodes, row.edges
+		if edges < nodes-1 {
+			edges = nodes - 1
+		}
+		reg, err := RandomWAN(fmt.Sprintf("c%d", i), nodes, edges, spec, seed+int64(i)+1)
+		if err != nil {
+			return nil, err
+		}
+		base[i] = SwitchID(t.NumSwitches())
+		size[i] = nodes
+		for _, s := range reg.Switches() {
+			c := *s
+			c.Name = fmt.Sprintf("r%d_%s", i, s.Name)
+			t.AddSwitch(c)
+		}
+		for _, l := range reg.Links() {
+			if err := t.AddLink(base[i]+l.A, base[i]+l.B, l.Latency); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// stitch joins regions a and b with one fresh link between random
+	// members; duplicate picks retry (regions are ~70 switches, so a
+	// handful of attempts always suffices).
+	stitch := func(a, b int) error {
+		for attempt := 0; attempt < 64; attempt++ {
+			u := base[a] + SwitchID(rng.Intn(size[a]))
+			v := base[b] + SwitchID(rng.Intn(size[b]))
+			if _, dup := t.LinkBetween(u, v); dup {
+				continue
+			}
+			return t.AddLink(u, v, spec.linkLatency(rng))
+		}
+		return fmt.Errorf("network: composite WAN could not stitch regions %d-%d", a, b)
+	}
+	for i := 0; i+1 < regions; i++ {
+		if err := stitch(i, i+1); err != nil {
+			return nil, err
+		}
+		if err := stitch(i, i+1); err != nil {
+			return nil, err
+		}
+	}
+	if regions > 2 {
+		if err := stitch(regions-1, 0); err != nil {
+			return nil, err
+		}
+		// Long chords shrink the ring diameter (real WAN backbones are
+		// not pure rings); one chord per four regions.
+		for c := 0; c < regions/4; c++ {
+			a := rng.Intn(regions)
+			b := (a + regions/2) % regions
+			if a == b {
+				continue
+			}
+			if err := stitch(a, b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
 // tableIII lists the node/edge counts of the paper's Table III.
 var tableIII = []struct{ nodes, edges int }{
 	{65, 78}, {70, 85}, {75, 99}, {66, 75}, {73, 70},

@@ -575,6 +575,62 @@ func (t *Topology) Clone() *Topology {
 	return c
 }
 
+// Subgraph returns the sub-topology induced by members: switch i of the
+// result is a copy of t's switch members[i] (so members doubles as the
+// local→global ID mapping), and every link of t whose endpoints both
+// appear in members is kept at its original latency. The fault overlay
+// is restricted to the surviving switches and links. Duplicate or
+// unknown members are rejected; the result may be disconnected — the
+// caller decides whether that matters (Partition.SubTopology guarantees
+// connected regions).
+//
+// Like Clone, the sub-topology starts with a cold path cache: nothing
+// here queries t's oracle or touches its dense latency table, so
+// carving R regions out of an S-switch topology costs O(Σ S_r + E) and
+// per-region path state stays O(S_r²) at worst. The region-sharded
+// solver depends on this — at 10k switches the parent's dense table
+// would be ~800 MB, and must only ever exist if someone asks the parent
+// for it.
+func (t *Topology) Subgraph(name string, members []SwitchID) (*Topology, error) {
+	sub := NewTopology(name)
+	local := make(map[SwitchID]SwitchID, len(members))
+	for _, gid := range members {
+		if !t.valid(gid) {
+			return nil, fmt.Errorf("network: subgraph %q references unknown switch %d", name, gid)
+		}
+		if _, dup := local[gid]; dup {
+			return nil, fmt.Errorf("network: subgraph %q lists switch %d twice", name, gid)
+		}
+		lid := sub.AddSwitch(*t.switches[gid])
+		local[gid] = lid
+		if t.downSw[gid] {
+			if sub.downSw == nil {
+				sub.downSw = map[SwitchID]bool{}
+			}
+			sub.downSw[lid] = true
+			sub.faultEpoch++
+		}
+	}
+	for li, l := range t.links {
+		a, oka := local[l.A]
+		b, okb := local[l.B]
+		if !oka || !okb {
+			continue
+		}
+		if err := sub.AddLink(a, b, l.Latency); err != nil {
+			return nil, err
+		}
+		if t.downLink[li] {
+			if sub.downLink == nil {
+				sub.downLink = map[int]bool{}
+			}
+			sub.downLink[sub.NumLinks()-1] = true
+			sub.faultEpoch++
+		}
+	}
+	return sub, nil
+}
+
 // Validate checks structural invariants.
 func (t *Topology) Validate() error {
 	for _, s := range t.switches {

@@ -14,9 +14,11 @@
 //     filtered per query by maxLatency/limit.
 //
 // Cached answers are bit-for-bit identical to the uncached ones: the
-// SSSP tree runs the same O(V²) Dijkstra with the same scan order and
-// strict-improvement relaxation, so reconstructed paths match the
-// early-exit per-pair variant exactly (see TestOracleMatchesUncached).
+// SSSP tree runs a heap-based Dijkstra whose (dist, id) pop order
+// matches the uncached O(V²) scan's tie-break exactly (smallest
+// distance, then smallest ID) with the same strict-improvement
+// relaxation, so reconstructed paths match the early-exit per-pair
+// variant bit for bit (see TestOracleMatchesUncached).
 //
 // The cache is guarded by an RWMutex, invalidated wholesale on
 // AddSwitch/AddLink and on every fault-layer mutation (fault.go), and
@@ -184,11 +186,17 @@ func (t *Topology) ssspFrom(src SwitchID) *ssspTree {
 	return tree
 }
 
-// computeSSSP runs the same O(V²) Dijkstra as shortestPathAvoiding with
-// no bans and no early exit, so the tree's per-destination paths are
-// identical to per-pair queries (same scan order, same strict
-// relaxation; an early exit never alters the predecessors fixed before
-// the destination is selected).
+// computeSSSP runs a heap-based O((V+E) log V) Dijkstra. The heap is
+// ordered by (dist, id), which reproduces the uncached O(V²) scan of
+// shortestPathAvoiding exactly: the linear scan settles the smallest-ID
+// vertex among equal distances (ascending scan, strict <), and so does
+// the (dist, id) pop order; relaxation is the same strict improvement
+// in the same adjacency order, so dist and prev — and therefore every
+// reconstructed path — are identical. The heap form is what keeps
+// 10k-switch topologies tractable (the region-sharded solver issues
+// SSSP queries from every used switch when materializing routes; a
+// quadratic scan per source is hours at that scale, the heap is
+// seconds).
 func (t *Topology) computeSSSP(src SwitchID) *ssspTree {
 	n := len(t.switches)
 	dist := make([]int64, n)
@@ -204,17 +212,13 @@ func (t *Topology) computeSSSP(src SwitchID) *ssspTree {
 		return &ssspTree{dist: dist, prev: prev}
 	}
 	dist[src] = int64(t.switches[src].TransitLatency)
-	for {
-		u := SwitchID(-1)
-		best := infDist
-		for i := 0; i < n; i++ {
-			if !done[i] && dist[i] < best {
-				best = dist[i]
-				u = SwitchID(i)
-			}
-		}
-		if u < 0 {
-			break
+	h := make(distHeap, 0, n)
+	h.push(distHeapItem{dist: dist[src], id: src})
+	for len(h) > 0 {
+		it := h.pop()
+		u := it.id
+		if done[u] || it.dist > dist[u] {
+			continue // stale entry superseded by a later relaxation
 		}
 		done[u] = true
 		for _, e := range t.adj[u] {
@@ -225,10 +229,68 @@ func (t *Topology) computeSSSP(src SwitchID) *ssspTree {
 			if alt < dist[e.to] {
 				dist[e.to] = alt
 				prev[e.to] = u
+				h.push(distHeapItem{dist: alt, id: e.to})
 			}
 		}
 	}
 	return &ssspTree{dist: dist, prev: prev}
+}
+
+// distHeapItem is one labeled vertex in the Dijkstra frontier; stale
+// duplicates are skipped on pop (lazy deletion).
+type distHeapItem struct {
+	dist int64
+	id   SwitchID
+}
+
+// distHeap is a hand-rolled binary min-heap over (dist, id). The strict
+// total order on (dist, id) is what pins the vertex-settling order to
+// the legacy linear scan's tie-break; container/heap is avoided to keep
+// the inner loop free of interface dispatch.
+type distHeap []distHeapItem
+
+func distHeapLess(a, b distHeapItem) bool {
+	return a.dist < b.dist || (a.dist == b.dist && a.id < b.id)
+}
+
+func (h *distHeap) push(it distHeapItem) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !distHeapLess(s[i], s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *distHeap) pop() distHeapItem {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && distHeapLess(s[l], s[min]) {
+			min = l
+		}
+		if r < n && distHeapLess(s[r], s[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // pathTo reconstructs the tree's src→dst path. The error messages match

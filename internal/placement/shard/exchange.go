@@ -1,0 +1,489 @@
+// Boundary-exchange reconciliation (DESIGN.md §11.3): after the
+// independent region solves, cross-region A(u,v) terms are whatever the
+// chunk cuts left behind. The exchange phase iteratively migrates MATs
+// across region cuts while the global lexicographic objective
+// (A_max, total cross bytes) strictly improves.
+//
+// The phase has the shape of a staged collective (ring/reduce-scatter):
+// each round, the communicating region pairs are edge-colored into
+// stages of disjoint peers; within a stage every pair concurrently
+// computes migration proposals against the stage-start snapshot
+// (read-only, per-worker scratch, indexed result slots); a barrier
+// ends the stage and the proposals are applied serially in
+// deterministic pair order, each re-scored exactly against the live
+// state with the allocation-free move kernels and re-checked for
+// capacity (FitsSwitch), acyclicity, and objective improvement. The
+// serial apply makes every worker count produce the same final
+// assignment; the strict lexicographic descent makes the whole phase
+// terminate (both objective components are non-negative integers).
+//
+// Scale note: kernels run in a host-compacted index space. A pseudo-
+// topology holding only the switches the merged assignment actually
+// uses (U hosts, typically 1–2k even at S=10k switches) is compiled
+// into a CompiledInstance, so the PairTable/MoveScratch/CycleScratch
+// are U²-sized, not S² — the full-topology dense tables never
+// materialize (satellite: lazy Clone/Subgraph latency tables).
+package shard
+
+import (
+	"sort"
+	"time"
+
+	"github.com/hermes-net/hermes/internal/network"
+	"github.com/hermes-net/hermes/internal/placement"
+	"github.com/hermes-net/hermes/internal/program"
+	"github.com/hermes-net/hermes/internal/tdg"
+)
+
+const (
+	// candCap bounds candidate MATs per region pair per stage (the
+	// heaviest cross-pair contributors are kept).
+	candCap = 48
+	// targetCap bounds candidate target hosts per MAT (the hosts of its
+	// TDG peers within the pair's regions).
+	targetCap = 12
+	// propCap bounds proposals per pair per stage.
+	propCap = 16
+)
+
+// hostState is the exchange phase's compacted working state.
+type hostState struct {
+	ci      *placement.CompiledInstance
+	hosts   []network.SwitchID // host index → global switch ID
+	hostIdx map[network.SwitchID]int32
+	region  []int32 // host index → region
+	assignH []int32 // MAT index → host index
+	pt      *placement.PairTable
+	matsOn  [][]int32 // host index → MAT indices hosted there
+	total   int       // total cross bytes matching (assignH, pt)
+	amax    int       // Eq. 1 matching pt
+}
+
+// proposal is one candidate migration: MAT x to host `to`.
+type proposal struct {
+	x, to int32
+	class int   // 0 = predicted A_max improvement, 1 = cross-byte reduction
+	delta int64 // predicted cross-byte delta (ordering key)
+}
+
+// exchange runs the bounded boundary-exchange rounds over assign,
+// mutating it in place. rounds > 0.
+func (s ShardedGreedy) exchange(g *tdg.Graph, topo *network.Topology, part *network.Partition,
+	assign map[string]network.SwitchID, opts placement.Options, rm program.ResourceModel,
+	rounds int, st *Stats) error {
+
+	hs, err := buildHostState(g, topo, part, assign, rm)
+	if err != nil {
+		return err
+	}
+	st.Hosts = len(hs.hosts)
+	st.AMaxBefore = hs.amax
+	st.AMaxAfter = hs.amax
+
+	w := workers(opts)
+	scratch := make([]map[int32]int32, w)
+	for i := range scratch {
+		scratch[i] = make(map[int32]int32, 64)
+	}
+	msApply := hs.ci.NewMoveScratch()
+	cyc := hs.ci.NewCycleScratch()
+
+	for round := 0; round < rounds; round++ {
+		if expired(opts) {
+			break
+		}
+		pairs := communicatingPairs(hs)
+		if len(pairs) == 0 {
+			break
+		}
+		stages := colorPairs(pairs)
+		moved := 0
+		for _, stage := range stages {
+			if expired(opts) {
+				break
+			}
+			// Exchange step 1: peers publish their boundary state — the
+			// per-pair candidate sets and pair-byte contributions read
+			// from the stage-start snapshot.
+			cands := stageCandidates(hs, stage)
+			bneck := bottlenecks(hs)
+			// Step 2: concurrent per-pair proposal computation
+			// (read-only; indexed slots keep it deterministic).
+			props := make([][]proposal, len(stage))
+			parallelFor(len(stage), w, func(worker, i int) {
+				props[i] = proposePair(hs, stage[i], cands[i], bneck, scratch[worker])
+			})
+			// Step 3: barrier reached; serial deterministic apply with
+			// exact re-scoring.
+			for i := range stage {
+				moved += hs.applyProposals(g, topo, props[i], rm, msApply, cyc)
+			}
+		}
+		st.Rounds = round + 1
+		st.Moves += moved
+		if moved == 0 {
+			break // converged: no cross-boundary move improves the objective
+		}
+	}
+	st.AMaxAfter = hs.amax
+
+	// Decode the compacted assignment back onto global switch IDs.
+	for x, name := range hs.ci.Names {
+		assign[name] = hs.hosts[hs.assignH[x]]
+	}
+	return nil
+}
+
+// buildHostState compacts the merged assignment into host index space:
+// a links-free pseudo-topology holding copies of just the used
+// switches, compiled so every PR 4 kernel runs U-indexed.
+func buildHostState(g *tdg.Graph, topo *network.Topology, part *network.Partition,
+	assign map[string]network.SwitchID, rm program.ResourceModel) (*hostState, error) {
+
+	used := map[network.SwitchID]bool{}
+	for _, u := range assign {
+		used[u] = true
+	}
+	hosts := make([]network.SwitchID, 0, len(used))
+	for u := range used {
+		hosts = append(hosts, u)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+
+	topoH := network.NewTopology(topo.Name + "/hosts")
+	hostIdx := make(map[network.SwitchID]int32, len(hosts))
+	region := make([]int32, len(hosts))
+	for i, gid := range hosts {
+		sw, err := topo.Switch(gid)
+		if err != nil {
+			return nil, err
+		}
+		topoH.AddSwitch(*sw) // ID rewritten to the dense host index
+		hostIdx[gid] = int32(i)
+		region[i] = int32(part.RegionOf(gid))
+	}
+	ci := placement.Compile(g, topoH, rm)
+	assignH := make([]int32, len(ci.Names))
+	matsOn := make([][]int32, len(hosts))
+	for x, name := range ci.Names {
+		h := hostIdx[assign[name]]
+		assignH[x] = h
+		matsOn[h] = append(matsOn[h], int32(x))
+	}
+	hs := &hostState{
+		ci: ci, hosts: hosts, hostIdx: hostIdx, region: region,
+		assignH: assignH, pt: ci.NewPairTable(), matsOn: matsOn,
+	}
+	hs.total = ci.FillPairTable(assignH, hs.pt)
+	hs.amax = hs.pt.Max()
+	return hs, nil
+}
+
+// communicatingPairs lists the normalized region pairs that currently
+// exchange metadata bytes, sorted — the peer schedule of one round.
+func communicatingPairs(hs *hostState) [][2]int32 {
+	seen := map[[2]int32]bool{}
+	for ei := range hs.ci.EdgeFrom {
+		ua := hs.assignH[hs.ci.EdgeFrom[ei]]
+		ub := hs.assignH[hs.ci.EdgeTo[ei]]
+		if ua == ub {
+			continue
+		}
+		ra, rb := hs.region[ua], hs.region[ub]
+		if ra == rb {
+			continue
+		}
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		seen[[2]int32{ra, rb}] = true
+	}
+	out := make([][2]int32, 0, len(seen))
+	for pr := range seen {
+		out = append(out, pr)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i][0] < out[j][0] || (out[i][0] == out[j][0] && out[i][1] < out[j][1])
+	})
+	return out
+}
+
+// colorPairs greedily edge-colors the peer pairs into stages of
+// pairwise-disjoint regions — the ring/reduce-scatter schedule: within
+// a stage every region talks to at most one peer, so the concurrent
+// proposal passes read disjoint boundary states.
+func colorPairs(pairs [][2]int32) [][][2]int32 {
+	var stages [][][2]int32
+	var busy []map[int32]bool
+	for _, pr := range pairs {
+		placed := false
+		for c := range stages {
+			if !busy[c][pr[0]] && !busy[c][pr[1]] {
+				stages[c] = append(stages[c], pr)
+				busy[c][pr[0]], busy[c][pr[1]] = true, true
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			stages = append(stages, [][2]int32{pr})
+			busy = append(busy, map[int32]bool{pr[0]: true, pr[1]: true})
+		}
+	}
+	return stages
+}
+
+// bottlenecks lists the pair-table cells currently at A_max — the cells
+// a move must reduce to improve Eq. 1.
+func bottlenecks(hs *hostState) []int32 {
+	var out []int32
+	for _, k := range hs.pt.Keys() {
+		if int(hs.pt.Cells[k]) == hs.amax {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// stageCandidates scans the TDG once and returns, for each pair of the
+// stage, its boundary MATs with their cross-pair byte contributions —
+// the "assignments and pair-byte contributions" the peers exchange.
+func stageCandidates(hs *hostState, stage [][2]int32) []map[int32]int64 {
+	idx := make(map[[2]int32]int, len(stage))
+	out := make([]map[int32]int64, len(stage))
+	for i, pr := range stage {
+		idx[pr] = i
+		out[i] = map[int32]int64{}
+	}
+	for ei := range hs.ci.EdgeFrom {
+		ua := hs.assignH[hs.ci.EdgeFrom[ei]]
+		ub := hs.assignH[hs.ci.EdgeTo[ei]]
+		if ua == ub {
+			continue
+		}
+		ra, rb := hs.region[ua], hs.region[ub]
+		if ra == rb {
+			continue
+		}
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		i, ok := idx[[2]int32{ra, rb}]
+		if !ok {
+			continue
+		}
+		b := int64(hs.ci.EdgeBytes[ei])
+		out[i][hs.ci.EdgeFrom[ei]] += b
+		out[i][hs.ci.EdgeTo[ei]] += b
+	}
+	return out
+}
+
+// proposePair computes one pair's ranked migration proposals against
+// the stage-start snapshot. Read-only on hs; scratch is this worker's
+// delta map. Candidates are the pair's heaviest boundary MATs; targets
+// are the hosts of each MAT's TDG peers within the pair's regions
+// (migrating a MAT next to its communication partners is what removes
+// cross-cut bytes). Scoring is the O(deg) screen: a move is class 0
+// when it strictly reduces every bottleneck cell and lifts no touched
+// cell to A_max (guaranteed strict A_max descent), class 1 when it
+// keeps every touched cell under A_max and strictly cuts cross bytes.
+// Exact re-scoring happens at apply time.
+func proposePair(hs *hostState, pr [2]int32, contrib map[int32]int64, bneck []int32, scratch map[int32]int32) []proposal {
+	if len(contrib) == 0 {
+		return nil
+	}
+	type weighted struct {
+		x int32
+		b int64
+	}
+	cands := make([]weighted, 0, len(contrib))
+	for x, b := range contrib {
+		cands = append(cands, weighted{x, b})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		return cands[i].b > cands[j].b || (cands[i].b == cands[j].b && cands[i].x < cands[j].x)
+	})
+	if len(cands) > candCap {
+		cands = cands[:candCap]
+	}
+
+	ci := hs.ci
+	S := int32(len(hs.hosts))
+	var props []proposal
+	var targets []int32
+	for _, cand := range cands {
+		x := cand.x
+		cur := hs.assignH[x]
+		// Candidate targets: peers' hosts inside the pair's regions.
+		targets = targets[:0]
+		for _, ei := range ci.Incident[x] {
+			peer := ci.EdgeTo[ei]
+			if peer == x {
+				peer = ci.EdgeFrom[ei]
+			}
+			h := hs.assignH[peer]
+			if h == cur {
+				continue
+			}
+			if r := hs.region[h]; r != pr[0] && r != pr[1] {
+				continue
+			}
+			targets = append(targets, h)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		targets = dedupInt32(targets)
+		if len(targets) > targetCap {
+			targets = targets[:targetCap]
+		}
+		for _, c := range targets {
+			for k := range scratch {
+				delete(scratch, k)
+			}
+			var crossDelta int64
+			for _, ei := range ci.Incident[x] {
+				var peer, oldCell, newCell int32
+				if ci.EdgeFrom[ei] == x {
+					peer = hs.assignH[ci.EdgeTo[ei]]
+					oldCell = cur*S + peer
+					newCell = c*S + peer
+				} else {
+					peer = hs.assignH[ci.EdgeFrom[ei]]
+					oldCell = peer*S + cur
+					newCell = peer*S + c
+				}
+				b := ci.EdgeBytes[ei]
+				if peer != cur {
+					scratch[oldCell] -= b
+					crossDelta -= int64(b)
+				}
+				if peer != c {
+					scratch[newCell] += b
+					crossDelta += int64(b)
+				}
+			}
+			maxTouched := 0
+			for cell, d := range scratch {
+				if v := int(hs.pt.Cells[cell] + d); v > maxTouched {
+					maxTouched = v
+				}
+			}
+			if maxTouched < hs.amax && reducesAll(bneck, scratch) {
+				props = append(props, proposal{x: x, to: c, class: 0, delta: crossDelta})
+			} else if maxTouched <= hs.amax && crossDelta < 0 {
+				props = append(props, proposal{x: x, to: c, class: 1, delta: crossDelta})
+			}
+		}
+	}
+	sort.Slice(props, func(i, j int) bool {
+		a, b := props[i], props[j]
+		if a.class != b.class {
+			return a.class < b.class
+		}
+		if a.delta != b.delta {
+			return a.delta < b.delta
+		}
+		if a.x != b.x {
+			return a.x < b.x
+		}
+		return a.to < b.to
+	})
+	if len(props) > propCap {
+		props = props[:propCap]
+	}
+	return props
+}
+
+// reducesAll reports whether the delta strictly lowers every bottleneck
+// cell (necessary and, with maxTouched < amax, sufficient for strict
+// A_max descent).
+func reducesAll(bneck []int32, delta map[int32]int32) bool {
+	if len(bneck) > len(delta) {
+		return false
+	}
+	for _, b := range bneck {
+		if delta[b] >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// applyProposals serially re-scores one pair's proposals against the
+// live state and commits those that still strictly improve the
+// lexicographic objective while staying feasible (capacity on the real
+// switch, acyclic contracted graph). Returns accepted count.
+func (hs *hostState) applyProposals(g *tdg.Graph, topo *network.Topology, props []proposal,
+	rm program.ResourceModel, ms *placement.MoveScratch, cyc *placement.CycleScratch) int {
+
+	accepted := 0
+	for _, pr := range props {
+		cur := hs.assignH[pr.x]
+		if cur == pr.to {
+			continue
+		}
+		namax, ncross := hs.ci.MoveScore(hs.assignH, hs.pt, ms, pr.x, pr.to, hs.total)
+		if !(namax < hs.amax || (namax == hs.amax && ncross < hs.total)) {
+			continue
+		}
+		// Capacity on the real target switch.
+		sw, err := topo.Switch(hs.hosts[pr.to])
+		if err != nil {
+			continue
+		}
+		names := make([]string, 0, len(hs.matsOn[pr.to])+1)
+		for _, m := range hs.matsOn[pr.to] {
+			names = append(names, hs.ci.Names[m])
+		}
+		names = append(names, hs.ci.Names[pr.x])
+		if !placement.FitsSwitch(g, names, sw, rm) {
+			continue
+		}
+		total2 := hs.ci.ApplyMove(hs.assignH, hs.pt, pr.x, pr.to, hs.total)
+		if !hs.ci.AssignmentAcyclic(hs.assignH, cyc) {
+			hs.total = hs.ci.ApplyMove(hs.assignH, hs.pt, pr.x, cur, total2) // revert
+			continue
+		}
+		hs.total = total2
+		hs.amax = namax
+		hs.moveHost(pr.x, cur, pr.to)
+		accepted++
+	}
+	return accepted
+}
+
+// moveHost updates the per-host MAT lists after an accepted migration.
+func (hs *hostState) moveHost(x, from, to int32) {
+	l := hs.matsOn[from]
+	for i, m := range l {
+		if m == x {
+			hs.matsOn[from] = append(l[:i], l[i+1:]...)
+			break
+		}
+	}
+	hs.matsOn[to] = append(hs.matsOn[to], x)
+}
+
+// expired reports whether the solve's deadline or context has fired.
+func expired(opts placement.Options) bool {
+	if opts.Ctx != nil {
+		select {
+		case <-opts.Ctx.Done():
+			return true
+		default:
+		}
+	}
+	return !opts.Deadline.IsZero() && time.Now().After(opts.Deadline)
+}
+
+// dedupInt32 removes adjacent duplicates from a sorted slice.
+func dedupInt32(s []int32) []int32 {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
