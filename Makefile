@@ -10,15 +10,17 @@
 # floors over the retained map references, the chaos smoke gate
 # proving the fault-tolerant supervisor still recovers from an
 # injected fault schedule via incremental repair with zero invariant
-# violations, and the shard smoke gate proving region-sharded
+# violations, the shard smoke gate proving region-sharded
 # placement still beats the whole-graph solver at equal workers with
-# bounded A_max inflation.
+# bounded A_max inflation, and the equiv smoke gate proving the
+# symbolic plan-equivalence checker holds its 10 ms-per-program budget
+# and allocation-free fast path against the packet-replay twin.
 
 GO ?= go
 
-.PHONY: check lint vet fmt-check hermeslint build test race bench-smoke bench bench-json replan-smoke core-smoke chaos-smoke shard-smoke bench-core-json bench-compare bench-survive-json bench-survive-compare bench-shard-json bench-shard-compare profile
+.PHONY: check lint vet fmt-check hermeslint build test race bench-smoke bench bench-json replan-smoke core-smoke chaos-smoke shard-smoke equiv-smoke bench-core-json bench-compare bench-survive-json bench-survive-compare bench-shard-json bench-shard-compare bench-equiv-json bench-equiv-compare profile
 
-check: lint build race bench-smoke replan-smoke core-smoke chaos-smoke shard-smoke
+check: lint build race bench-smoke replan-smoke core-smoke chaos-smoke shard-smoke equiv-smoke
 
 # Static analysis gate: gofmt (no unformatted files), go vet, and the
 # repo-specific hermeslint pass (mutex/Clone conventions around the
@@ -91,6 +93,14 @@ chaos-smoke:
 shard-smoke:
 	$(GO) run ./cmd/hermes-bench -exp exp10 -smoke
 
+# Equivalence-checker smoke gate: every fixture's symbolic check must
+# come in under the 10 ms-per-program budget, the real-program fixture
+# must stay on the allocation-free fast path, and the symbolic check
+# must beat the packet-replay twin >=5x. Ratios are measured
+# in-process, so the gate holds on any machine.
+equiv-smoke:
+	$(GO) run ./cmd/hermes-bench -exp equiv -smoke
+
 # Regenerate the committed survivability baseline (BENCH_survive.json
 # is what bench-survive-compare diffs against).
 bench-survive-json:
@@ -128,6 +138,20 @@ bench-shard-json:
 # held to its structural invariants instead.
 bench-shard-compare:
 	$(GO) run ./cmd/hermes-bench -exp exp10 -compare BENCH_shard.json
+
+# Regenerate the committed equivalence-checker baseline (run on a
+# quiet machine; BENCH_equiv.json is what bench-equiv-compare diffs
+# against).
+bench-equiv-json:
+	$(GO) run ./cmd/hermes-bench -exp equiv -json BENCH_equiv.json
+
+# Equivalence-checker regression gate: a fixture fails only if its
+# symbolic ns/op regressed >10% against the committed BENCH_equiv.json
+# AND its in-run replay/symbolic ratio degraded >10% (the dual
+# condition filters machine-speed skew), or if a fixture that was
+# allocation-free in the baseline now allocates.
+bench-equiv-compare:
+	$(GO) run ./cmd/hermes-bench -exp equiv -compare BENCH_equiv.json
 
 # CPU + heap profiles of the incremental replan path; inspect with
 # `go tool pprof results/cpu.pprof` / `go tool pprof results/mem.pprof`.

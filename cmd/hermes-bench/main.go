@@ -25,7 +25,10 @@
 // survive.go for its structural -compare and -smoke gates. With
 // -exp exp10, -json writes the sharded-placement baseline
 // (BENCH_shard.json); see shard.go for its speedup/quality gates and
-// the -full flag that adds the 10k-switch / 5k-program point.
+// the -full flag that adds the 10k-switch / 5k-program point. With
+// -exp equiv, -json writes the symbolic equivalence-checker baseline
+// (BENCH_equiv.json); see equiv.go for its 10 ms-per-program budget
+// and replay-twin gates.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the
 // selected experiments, for `go tool pprof` analysis of the solver hot
@@ -56,7 +59,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("hermes-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig2, exp1, exp2, exp3, exp4, exp5, exp6, exp7, exp8, exp10, core, all")
+	exp := fs.String("exp", "all", "experiment: fig2, exp1, exp2, exp3, exp4, exp5, exp6, exp7, exp8, exp10, core, equiv, all")
 	programs := fs.Int("programs", 50, "concurrent programs for exp2-4 and exp7")
 	deadline := fs.Duration("deadline", 3*time.Second, "per-instance solver deadline for exact/ILP solvers")
 	ilp := fs.Bool("ilp", true, "run the genuinely ILP-backed comparison frameworks")
@@ -64,8 +67,8 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "concurrent experiment cells and solver parallelism (0 = GOMAXPROCS)")
 	csvDir := fs.String("csv", "", "also write CSV files into this directory")
 	jsonPath := fs.String("json", "", "write exp7's replan baseline (or -exp core's perf baseline) as JSON to this path")
-	comparePath := fs.String("compare", "", "with -exp core: diff against this committed baseline, failing on >10% compiled-kernel ns/op regressions")
-	smoke := fs.Bool("smoke", false, "with -exp core/exp10: enforce the machine-independent in-run gates and skip the slow sweeps")
+	comparePath := fs.String("compare", "", "with -exp core/equiv: diff against this committed baseline, failing on >10% ns/op regressions")
+	smoke := fs.Bool("smoke", false, "with -exp core/exp10/equiv: enforce the machine-independent in-run gates and skip the slow sweeps")
 	full := fs.Bool("full", false, "with -exp exp10: include the 10k-switch / 5k-program point (minutes of runtime)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this path")
 	memProfile := fs.String("memprofile", "", "write a heap profile taken after the selected experiments to this path")
@@ -153,6 +156,8 @@ func (r *runner) run(exp string) error {
 		return r.exp10()
 	case "core":
 		return r.core()
+	case "equiv":
+		return r.equivBench()
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

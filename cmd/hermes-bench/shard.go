@@ -54,6 +54,8 @@ type shardRowJSON struct {
 	Rounds       int     `json:"exchange_rounds"`
 	Moves        int     `json:"exchange_moves"`
 	FellBack     bool    `json:"fell_back"`
+	EquivOK      bool    `json:"equiv_ok"`
+	EquivMs      float64 `json:"equiv_ms"`
 	PartitionMs  float64 `json:"partition_ms"`
 	RegionMs     float64 `json:"region_ms"`
 	ExchangeMs   float64 `json:"exchange_ms"`
@@ -76,6 +78,7 @@ func shardRow(p experiments.ShardPoint) shardRowJSON {
 		ShardMs: round3(p.ShardMs), ShardAMax: p.ShardAMax,
 		Speedup: round3(p.Speedup), AMaxRatio: round3(p.AMaxRatio),
 		Hosts: p.Hosts, Rounds: p.Rounds, Moves: p.Moves, FellBack: p.FellBack,
+		EquivOK: p.EquivOK, EquivMs: round3(p.EquivMs),
 		PartitionMs: round3(p.PartitionMs), RegionMs: round3(p.RegionMs), ExchangeMs: round3(p.ExchangeMs),
 	}
 }
@@ -104,11 +107,12 @@ func (r *runner) exp10() error {
 		doc.Rows = append(doc.Rows, shardRow(p))
 	}
 
-	fmt.Printf("  %-14s %8s %6s %7s %7s %12s %12s %8s %7s %6s %6s %6s\n",
-		"topology", "switches", "progs", "MATs", "shards", "whole", "sharded", "speedup", "A_max", "hosts", "rounds", "moves")
+	fmt.Printf("  %-14s %8s %6s %7s %7s %12s %12s %8s %7s %6s %6s %6s %8s\n",
+		"topology", "switches", "progs", "MATs", "shards", "whole", "sharded", "speedup", "A_max", "hosts", "rounds", "moves", "equiv")
 	csvRows := [][]string{{"topology", "switches", "programmable", "programs", "mats", "shards",
 		"whole_ms", "whole_amax_bytes", "shard_ms", "shard_amax_bytes", "speedup", "amax_ratio",
 		"boundary_hosts", "exchange_rounds", "exchange_moves", "fell_back",
+		"equiv_ok", "equiv_ms",
 		"partition_ms", "region_ms", "exchange_ms"}}
 	for _, row := range doc.Rows {
 		whole, speed, ratio := "-", "-", "-"
@@ -117,10 +121,14 @@ func (r *runner) exp10() error {
 			speed = fmt.Sprintf("%.2fx", row.Speedup)
 			ratio = fmt.Sprintf("%.3f", row.AMaxRatio)
 		}
-		fmt.Printf("  %-14s %8d %6d %7d %7d %12s %12s %8s %7s %6d %6d %6d\n",
+		equivCol := "-"
+		if row.EquivOK {
+			equivCol = fmt.Sprintf("%.1fms", row.EquivMs)
+		}
+		fmt.Printf("  %-14s %8d %6d %7d %7d %12s %12s %8s %7s %6d %6d %6d %8s\n",
 			row.Topology, row.Switches, row.Programs, row.MATs, row.Shards,
 			whole, fmt.Sprintf("%.1fms", row.ShardMs), speed, ratio,
-			row.Hosts, row.Rounds, row.Moves)
+			row.Hosts, row.Rounds, row.Moves, equivCol)
 		csvRows = append(csvRows, []string{
 			row.Topology, strconv.Itoa(row.Switches), strconv.Itoa(row.Programmable),
 			strconv.Itoa(row.Programs), strconv.Itoa(row.MATs), strconv.Itoa(row.Shards),
@@ -129,6 +137,7 @@ func (r *runner) exp10() error {
 			fmt.Sprintf("%.3f", row.Speedup), fmt.Sprintf("%.3f", row.AMaxRatio),
 			strconv.Itoa(row.Hosts), strconv.Itoa(row.Rounds), strconv.Itoa(row.Moves),
 			strconv.FormatBool(row.FellBack),
+			strconv.FormatBool(row.EquivOK), fmt.Sprintf("%.3f", row.EquivMs),
 			fmt.Sprintf("%.3f", row.PartitionMs), fmt.Sprintf("%.3f", row.RegionMs), fmt.Sprintf("%.3f", row.ExchangeMs),
 		})
 	}
@@ -180,6 +189,13 @@ func shardSmokeGate(rows []shardRowJSON) error {
 		if row.AMaxRatio > shardSmokeAMaxRatio {
 			failures = append(failures, fmt.Sprintf(
 				"%s: A_max ratio %.3f exceeds %.1f quality gate", row.Topology, row.AMaxRatio, shardSmokeAMaxRatio))
+		}
+		// Comparison rows also carry the symbolic plan-equivalence
+		// verdict: region decomposition must never ship a plan the
+		// checker cannot prove equivalent to the reference pipeline.
+		if !row.EquivOK {
+			failures = append(failures, fmt.Sprintf(
+				"%s: sharded plan missing a symbolic equivalence verdict", row.Topology))
 		}
 	}
 	if len(failures) > 0 {

@@ -9,6 +9,7 @@
 //	hermes -workload sketches:10 -topology linear:3 -json
 //	hermes -workload mixed:6 -topology table3:1 -stage-capacity 0.05 -supervise -fault-schedule rand:20
 //	hermes lint -json examples/p4src/bad.p4
+//	hermes equiv -workload real:6 -topology table3:1 -json
 //
 // Workloads:   real:N (N of the ten switch.p4-style programs),
 //
@@ -51,6 +52,9 @@ func main() {
 func run(args []string) error {
 	if len(args) > 0 && args[0] == "lint" {
 		return runLint(args[1:])
+	}
+	if len(args) > 0 && args[0] == "equiv" {
+		return runEquiv(args[1:])
 	}
 	fs := flag.NewFlagSet("hermes", flag.ContinueOnError)
 	workloadFlag := fs.String("workload", "real:4", "workload spec (real:N, synthetic:N, sketches:N, mixed:N, file:PATH, p4:FILE[,FILE...])")

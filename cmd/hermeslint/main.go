@@ -15,6 +15,12 @@
 //	HV005  a map-based scoring call (PairBytes, AMax, the *Ref
 //	       twins, ...) inside a loop tagged //hermes:hot — hot
 //	       loops must use the compiled kernels               error
+//	HV006  an allocation inside a loop tagged //hermes:hot:
+//	       make(), a map or slice composite literal, or an
+//	       append whose destination is a struct field (the
+//	       amortized-scratch idiom belongs outside the loop;
+//	       growing it per iteration defeats the
+//	       allocation-free contract)                         error
 //
 // It is deliberately x/tools-free: the analysis is a plain go/parser +
 // go/ast walk so it builds in hermetic environments with no module
@@ -195,6 +201,59 @@ func lintHotLoops(fset *token.FileSet, file *ast.File) []vetFinding {
 			}
 			return true
 		})
+		out = append(out, lintHotAllocs(fset, n, seen)...)
+		return true
+	})
+	return out
+}
+
+// lintHotAllocs applies HV006 inside one //hermes:hot loop: make()
+// calls, map and slice composite literals, and appends whose
+// destination is a struct field all allocate (or can grow the
+// amortized scratch) per iteration. Appends to plain locals are
+// allowed — building a bounded local batch is fine; it is the
+// field-backed scratch that must be pre-sized outside the loop.
+func lintHotAllocs(fset *token.FileSet, loop ast.Node, seen map[token.Pos]bool) []vetFinding {
+	var out []vetFinding
+	report := func(pos token.Pos, format string, args ...any) {
+		if seen[pos] {
+			return
+		}
+		seen[pos] = true
+		out = append(out, vetFinding{
+			pos: fset.Position(pos), rule: "HV006", sev: "error",
+			msg: fmt.Sprintf(format, args...),
+		})
+	}
+	ast.Inspect(loop, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fun, ok := n.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch fun.Name {
+			case "make":
+				report(n.Pos(), "make() inside a //hermes:hot loop allocates per iteration; hoist the buffer into reused scratch")
+			case "append":
+				if len(n.Args) == 0 {
+					return true
+				}
+				if sel, ok := n.Args[0].(*ast.SelectorExpr); ok {
+					report(n.Pos(), "append to %s inside a //hermes:hot loop can grow the escaping scratch per iteration; pre-size it before the loop",
+						renderExpr(sel))
+				}
+			}
+		case *ast.CompositeLit:
+			switch n.Type.(type) {
+			case *ast.MapType:
+				report(n.Pos(), "map literal inside a //hermes:hot loop allocates per iteration; hoist and clear a reused map instead")
+			case *ast.ArrayType:
+				if arr, _ := n.Type.(*ast.ArrayType); arr != nil && arr.Len == nil {
+					report(n.Pos(), "slice literal inside a //hermes:hot loop allocates per iteration; hoist it into reused scratch")
+				}
+			}
+		}
 		return true
 	})
 	return out

@@ -225,6 +225,72 @@ func good(c *ci) int {
 	}
 }
 
+func TestHotLoopFlagsAllocations(t *testing.T) {
+	fs := lintSnippet(t, `
+type walker struct{ buf []int }
+func bad(w *walker, n int) {
+	//hermes:hot
+	for i := 0; i < n; i++ {
+		tmp := make([]int, 4)
+		_ = tmp
+		m := map[string]int{"a": i}
+		_ = m
+		s := []int{i}
+		_ = s
+		w.buf = append(w.buf, i)
+	}
+}
+`)
+	got := rulesOf(fs)
+	if len(got) != 4 {
+		t.Fatalf("want 4 HV006 findings (make, map literal, slice literal, field append), got %v", fs)
+	}
+	for i, f := range fs {
+		if got[i] != "HV006" || f.sev != "error" {
+			t.Fatalf("finding %d must be an HV006 error: %v", i, f)
+		}
+	}
+	if !strings.Contains(fs[3].msg, "w.buf") {
+		t.Fatalf("append finding must name the escaping scratch: %v", fs[3])
+	}
+}
+
+func TestHotLoopLocalAppendAndArrayAllowed(t *testing.T) {
+	// Appending to a local and fixed-size array literals stay legal:
+	// bounded local batches don't break the allocation-free contract.
+	fs := lintSnippet(t, `
+func good(n int) int {
+	var batch []int
+	//hermes:hot
+	for i := 0; i < n; i++ {
+		batch = append(batch, i)
+		pair := [2]int{i, i + 1}
+		_ = pair
+	}
+	return len(batch)
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("want no findings on local append, got %v", fs)
+	}
+}
+
+func TestUntaggedLoopMayAllocate(t *testing.T) {
+	fs := lintSnippet(t, `
+type walker struct{ buf []int }
+func fine(w *walker, n int) {
+	for i := 0; i < n; i++ {
+		w.buf = append(w.buf, i)
+		m := make(map[int]int)
+		_ = m
+	}
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("want no findings on untagged loop, got %v", fs)
+	}
+}
+
 // The repository itself must stay free of error-severity findings:
 // `make check` gates on the binary's exit status, and this test keeps
 // the guarantee visible from `go test ./...` alone.

@@ -33,6 +33,7 @@ import (
 	"github.com/hermes-net/hermes/internal/dataplane"
 	"github.com/hermes-net/hermes/internal/deploy"
 	"github.com/hermes-net/hermes/internal/e2esim"
+	"github.com/hermes-net/hermes/internal/equiv"
 	"github.com/hermes-net/hermes/internal/fields"
 	_ "github.com/hermes-net/hermes/internal/lint" // registers the lint hooks behind DeployOptions.Lint
 	"github.com/hermes-net/hermes/internal/network"
@@ -244,6 +245,13 @@ type DeployOptions struct {
 	// compilation, failing Deploy on error-severity findings. Importing
 	// package hermes registers the lint hooks.
 	Lint bool
+	// Equiv runs the symbolic plan-equivalence checker (internal/equiv)
+	// twice: over the solver's plan before compilation (via the
+	// placement hook) and over the compiled deployment's actual
+	// coordination headers after Verify. Deploy fails on any
+	// error-severity HE finding — the distributed pipeline is then not
+	// provably equivalent to the single-box reference.
+	Equiv bool
 	// Ctx cancels the placement solve when done; nil means not
 	// cancelable.
 	Ctx context.Context
@@ -280,6 +288,7 @@ func Deploy(progs []*Program, topo *Topology, opts DeployOptions) (*Result, erro
 		Epsilon2: opts.Epsilon2,
 		Workers:  opts.Workers,
 		Lint:     opts.Lint,
+		Equiv:    opts.Equiv,
 		Ctx:      opts.Ctx,
 		Shards:   opts.Shards,
 	}
@@ -296,6 +305,11 @@ func Deploy(progs []*Program, topo *Topology, opts DeployOptions) (*Result, erro
 	}
 	if err := dep.Verify(); err != nil {
 		return nil, fmt.Errorf("hermes: %w", err)
+	}
+	if opts.Equiv {
+		if err := equiv.CheckDeployment(g, dep); err != nil {
+			return nil, fmt.Errorf("hermes: %w", err)
+		}
 	}
 	return &Result{TDG: g, Plan: plan, Deployment: dep}, nil
 }
@@ -321,6 +335,27 @@ func NewEngine(dep *Deployment) (*Engine, error) { return dataplane.NewEngine(de
 // returns the largest coordination header observed.
 func VerifyEquivalence(dep *Deployment, packets []*Packet) (int, error) {
 	return dataplane.EquivalentRuns(dep, packets)
+}
+
+// EquivReport is the symbolic equivalence checker's full diagnostic
+// verdict: HE findings, per-program verdicts, and a replay-confirmed
+// counterexample packet on failure.
+type EquivReport = equiv.Report
+
+// CheckEquivalence statically proves the deployment's distributed
+// pipeline equivalent to its single-box reference (nil error = proven)
+// without replaying a single packet. It is the machine-proven superset
+// of VerifyEquivalence: a symbolic pass implies the replay passes for
+// every packet, not just a sampled stream.
+func CheckEquivalence(dep *Deployment) error {
+	return equiv.CheckDeployment(nil, dep)
+}
+
+// DiagnoseEquivalence builds the full equivalence report for a
+// deployment, including non-gating findings (over-carried metadata,
+// benign shuffles) and a concrete counterexample when broken.
+func DiagnoseEquivalence(dep *Deployment) (*EquivReport, error) {
+	return equiv.Diagnose(nil, dep)
 }
 
 // DefaultFlow returns the paper's DCN flow configuration for a packet

@@ -108,9 +108,16 @@ func (e *Engine) Process(pkt *Packet) (*Result, error) {
 			continue
 		}
 		ctx := newContext(pkt)
-		// Import headers from already-visited upstream switches.
-		for from := range cfg.Imports {
+		// Import headers from already-visited upstream switches, in
+		// visit order: when two upstreams deliver the same field, the
+		// later-visited one wins deterministically (it executed with
+		// more of the write history in view). Iterating the Imports map
+		// directly would make the winner random.
+		for _, from := range e.order {
 			if !visited[from] {
+				continue
+			}
+			if _, ok := cfg.Imports[from]; !ok {
 				continue
 			}
 			key := placement.RouteKey{From: from, To: u}

@@ -196,8 +196,19 @@ func Redeploy(d *Deployment, solver placement.Solver, opts placement.ReplanOptio
 	if err := next.Verify(); err != nil {
 		return nil, rep, fmt.Errorf("deploy: redeploy: %w", err)
 	}
+	if opts.Equiv && EquivHook != nil {
+		if err := EquivHook(next); err != nil {
+			return nil, rep, fmt.Errorf("deploy: redeploy: %w", err)
+		}
+	}
 	return next, rep, nil
 }
+
+// EquivHook is the symbolic equivalence gate Redeploy invokes on the
+// recompiled deployment when ReplanOptions.Equiv is set. The
+// internal/equiv package registers its checker here; the variable
+// indirection avoids an import cycle (equiv depends on deploy).
+var EquivHook func(*Deployment) error
 
 // Verify cross-checks the compiled deployment against the plan:
 // every assigned MAT appears in exactly the stages the plan dictates,

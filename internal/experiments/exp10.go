@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/hermes-net/hermes/internal/analyzer"
+	"github.com/hermes-net/hermes/internal/equiv"
 	"github.com/hermes-net/hermes/internal/network"
 	"github.com/hermes-net/hermes/internal/placement"
 	"github.com/hermes-net/hermes/internal/placement/shard"
@@ -40,6 +41,12 @@ type ShardPoint struct {
 	Rounds   int
 	Moves    int
 	FellBack bool
+	// EquivOK reports the symbolic plan-equivalence verdict on the
+	// sharded plan (the pre-compilation gate); EquivMs is its cost.
+	// Only the comparison rows run the check — the sharded-only scale
+	// row skips it to keep the point's wall clock solver-bound.
+	EquivOK bool
+	EquivMs float64
 	// PartitionMs/RegionMs/ExchangeMs split ShardMs into its phases.
 	PartitionMs float64
 	RegionMs    float64
@@ -142,6 +149,15 @@ func exp10Point(cfg Config, c exp10Case) (ShardPoint, error) {
 	pt.PartitionMs = ms(st.PartitionTime)
 	pt.RegionMs = ms(st.RegionTime)
 	pt.ExchangeMs = ms(st.ExchangeTime)
+
+	if c.runWhole {
+		start := time.Now()
+		if err := equiv.CheckPlanAgainst(merged, plan, analyzer.Options{}); err != nil {
+			return ShardPoint{}, fmt.Errorf("sharded plan fails equivalence: %w", err)
+		}
+		pt.EquivOK = true
+		pt.EquivMs = ms(time.Since(start))
+	}
 
 	if c.runWhole {
 		var wplan *placement.Plan

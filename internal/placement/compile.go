@@ -522,6 +522,10 @@ func (ci *CompiledInstance) AssignmentAcyclic(assign []int32, cs *CycleScratch) 
 			nodes++
 		}
 	}
+	// The touched list works through a local in the edge loop (one
+	// entry per distinct cross pair, amortized like the rest of the
+	// scratch) and is written back for the next call's reset.
+	touched := cs.touched
 	//hermes:hot
 	for ei := range ci.EdgeFrom {
 		ua := assign[ci.EdgeFrom[ei]]
@@ -532,10 +536,11 @@ func (ci *CompiledInstance) AssignmentAcyclic(assign []int32, cs *CycleScratch) 
 		cell := ua*s + ub
 		if cs.adj[cell] == 0 {
 			cs.adj[cell] = 1
-			cs.touched = append(cs.touched, cell)
+			touched = append(touched, cell)
 			cs.indeg[ub]++
 		}
 	}
+	cs.touched = touched
 	ready := cs.ready[:0]
 	for u := int32(0); u < s; u++ {
 		if cs.present[u] && cs.indeg[u] == 0 {

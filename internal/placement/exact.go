@@ -107,6 +107,8 @@ func newExactState(ci *CompiledInstance, opts Options) *exactState {
 		inActive: make([]bool, s*s),
 		seen:     make([]bool, s),
 		stack:    make([]int32, 0, s),
+		undoCell: make([]int32, 0, len(ci.EdgeFrom)),
+		undoByte: make([]int32, 0, len(ci.EdgeFrom)),
 		bestA:    int(^uint(0) >> 1), // max int
 	}
 	for i := range st.assign {
@@ -128,8 +130,8 @@ func (st *exactState) clone() *exactState {
 	c.swCnt = append([]int32(nil), st.swCnt...)
 	c.active = append([]int32(nil), st.active...)
 	c.inActive = append([]bool(nil), st.inActive...)
-	c.undoCell = nil
-	c.undoByte = nil
+	c.undoCell = make([]int32, 0, cap(st.undoCell))
+	c.undoByte = make([]int32, 0, cap(st.undoByte))
 	c.seen = make([]bool, len(st.seen))
 	c.stack = make([]int32, 0, cap(st.stack))
 	return &c
@@ -145,6 +147,15 @@ func (st *exactState) addPair(cell, bytes int32) {
 	st.pair[cell] += bytes
 	st.pairLive[cell] = true
 	st.swCnt[cell]++
+}
+
+// pushUndo records one pair delta on the shared undo stack. The stack
+// is pre-sized to the edge count — each dfs frame pushes at most one
+// entry per in-edge of a distinct MAT — so steady-state pushes never
+// grow it.
+func (st *exactState) pushUndo(cell, bytes int32) {
+	st.undoCell = append(st.undoCell, cell)
+	st.undoByte = append(st.undoByte, bytes)
 }
 
 // subPair reverses one addPair (LIFO), retiring the pair when its
@@ -336,8 +347,7 @@ func (st *exactState) dfs(i int) {
 			if int(st.pair[cell]) > st.curMax {
 				st.curMax = int(st.pair[cell])
 			}
-			st.undoCell = append(st.undoCell, cell)
-			st.undoByte = append(st.undoByte, b)
+			st.pushUndo(cell, b)
 		}
 		if ok && (!st.haveBest || st.curMax < st.bestA) && int64(st.curMax) <= st.sharedBest.Load() {
 			st.assign[x] = ui
@@ -505,7 +515,9 @@ func (st *exactState) expand(i int) []expandedChild {
 }
 
 // reachable reports whether dst is reachable from src in the contracted
-// switch graph (swCnt rows), using the state's scratch buffers.
+// switch graph (swCnt rows), using the state's scratch buffers. The
+// stack works through a local: the seen guard bounds it to S pushes, so
+// the pre-sized scratch never grows and nothing needs writing back.
 func (st *exactState) reachable(src, dst int32) bool {
 	if src == dst {
 		return true
@@ -514,11 +526,11 @@ func (st *exactState) reachable(src, dst int32) bool {
 	for i := range st.seen {
 		st.seen[i] = false
 	}
-	st.stack = append(st.stack[:0], src)
+	stack := append(st.stack[:0], src)
 	st.seen[src] = true
-	for len(st.stack) > 0 {
-		n := st.stack[len(st.stack)-1]
-		st.stack = st.stack[:len(st.stack)-1]
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		row := st.swCnt[n*s : (n+1)*s]
 		//hermes:hot
 		for to, cnt := range row {
@@ -530,7 +542,7 @@ func (st *exactState) reachable(src, dst int32) bool {
 			}
 			if !st.seen[to] {
 				st.seen[to] = true
-				st.stack = append(st.stack, int32(to))
+				stack = append(stack, int32(to))
 			}
 		}
 	}

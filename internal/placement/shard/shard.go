@@ -375,6 +375,11 @@ func (s ShardedGreedy) finalize(g *tdg.Graph, topo *network.Topology, assign map
 			return nil, fmt.Errorf("shard: plan rejected by lint: %w", err)
 		}
 	}
+	if opts.Equiv && placement.PlanEquivHook != nil {
+		if err := placement.PlanEquivHook(plan, opts); err != nil {
+			return nil, fmt.Errorf("shard: plan rejected by equivalence check: %w", err)
+		}
+	}
 	return plan, nil
 }
 

@@ -36,6 +36,12 @@ type Options struct {
 	// findings. The internal/lint package registers the hook; with no
 	// hook registered the flag is a no-op.
 	Lint bool
+	// Equiv, when true, runs the registered PlanEquivHook over every
+	// solver's final plan: a symbolic proof that the plan's distributed
+	// pipeline is equivalent to the single-box reference, rejecting the
+	// solve otherwise. The internal/equiv package registers the hook;
+	// with no hook registered the flag is a no-op.
+	Equiv bool
 	// Ctx, when non-nil, allows canceling a solve in flight: the hot
 	// loops (local improve, the exact branch search, the MILP branch
 	// and bound, the replan repair) poll Ctx.Done() at the same
@@ -65,12 +71,23 @@ type Options struct {
 // variable avoids an import cycle (lint depends on placement).
 var PlanLintHook func(*Plan, Options) error
 
-// finishPlan applies the lint hook (when enabled) before a solver
-// returns its plan.
+// PlanEquivHook is the symbolic equivalence gate solvers invoke on
+// their final plan when Options.Equiv is set. internal/equiv registers
+// its checker here; like PlanLintHook, the variable indirection avoids
+// an import cycle (equiv depends on placement).
+var PlanEquivHook func(*Plan, Options) error
+
+// finishPlan applies the lint and equivalence hooks (when enabled)
+// before a solver returns its plan.
 func finishPlan(p *Plan, opts Options) (*Plan, error) {
 	if opts.Lint && PlanLintHook != nil {
 		if err := PlanLintHook(p, opts); err != nil {
 			return nil, fmt.Errorf("placement: %s plan rejected by lint: %w", p.SolverName, err)
+		}
+	}
+	if opts.Equiv && PlanEquivHook != nil {
+		if err := PlanEquivHook(p, opts); err != nil {
+			return nil, fmt.Errorf("placement: %s plan rejected by equivalence check: %w", p.SolverName, err)
 		}
 	}
 	return p, nil

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/hermes-net/hermes/internal/analyzer"
+	"github.com/hermes-net/hermes/internal/equiv"
 	"github.com/hermes-net/hermes/internal/lint"
 	"github.com/hermes-net/hermes/internal/network"
 	"github.com/hermes-net/hermes/internal/program"
@@ -72,6 +73,12 @@ func assertInvariants(t *testing.T, sup *Supervisor, progs int) {
 	}
 	if err := dep.Verify(); err != nil {
 		t.Fatalf("Verify: %v", err)
+	}
+	// Symbolic equivalence gate: every adopted deployment — cold solve,
+	// incremental repair, or degraded rebuild — must stay provably
+	// equivalent to the single-box reference pipeline.
+	if err := equiv.CheckDeployment(nil, dep); err != nil {
+		t.Fatalf("equiv: %v", err)
 	}
 	// Degradation bookkeeping: active + shed partition the workload,
 	// and every currently-shed program has a recorded shed event.

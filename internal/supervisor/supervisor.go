@@ -32,6 +32,13 @@ type Options struct {
 	// MinPrograms is the degradation floor: shedding never drops the
 	// active set below this many programs. Zero means 1.
 	MinPrograms int
+	// Equiv gates every deployment the supervisor adopts — the initial
+	// build, incremental redeploys, and degraded rebuilds — through the
+	// symbolic equivalence checker (deploy.EquivHook, registered by
+	// internal/equiv). A repair that is resource-feasible but not
+	// provably equivalent is treated like any other infeasibility: the
+	// supervisor degrades instead of adopting it.
+	Equiv bool
 	// Retry configures the controller's rule-op retry policy.
 	Retry deploy.RetryPolicy
 }
@@ -334,6 +341,7 @@ func (s *Supervisor) redeploy(res *PollResult, poll int) error {
 	ropts := s.opts.Replan
 	ropts.Topology = s.topo
 	ropts.Ctx = s.opts.Ctx
+	ropts.Equiv = ropts.Equiv || s.opts.Equiv
 	s.stats.Replans++
 	next, rrep, err := deploy.Redeploy(s.dep, s.opts.solver(), ropts, s.opts.Analyze)
 	if err == nil {
@@ -413,6 +421,7 @@ func (s *Supervisor) rebuild(res *PollResult) error {
 	}
 	popts := s.opts.Replan.Options
 	popts.Ctx = s.opts.Ctx
+	popts.Equiv = popts.Equiv || s.opts.Equiv
 	plan, err := s.opts.solver().Solve(g, s.topo.Clone(), popts)
 	if err != nil {
 		return err
@@ -423,6 +432,11 @@ func (s *Supervisor) rebuild(res *PollResult) error {
 	}
 	if err := dep.Verify(); err != nil {
 		return err
+	}
+	if s.opts.Equiv && deploy.EquivHook != nil {
+		if err := deploy.EquivHook(dep); err != nil {
+			return err
+		}
 	}
 	if s.dep != nil {
 		res.Replanned = true
