@@ -14,13 +14,17 @@
 # placement still beats the whole-graph solver at equal workers with
 # bounded A_max inflation, and the equiv smoke gate proving the
 # symbolic plan-equivalence checker holds its 10 ms-per-program budget
-# and allocation-free fast path against the packet-replay twin.
+# and allocation-free fast path against the packet-replay twin, and
+# the traffic smoke gate proving weighted plans cut the hot-pair
+# coordination byte-rate >=2x at <=1.2x A_max inflation while the
+# batched replay engine stays >=10x faster than the per-packet
+# interpreter at zero allocations per packet.
 
 GO ?= go
 
-.PHONY: check lint vet fmt-check hermeslint build test race bench-smoke bench bench-json replan-smoke core-smoke chaos-smoke shard-smoke equiv-smoke bench-core-json bench-compare bench-survive-json bench-survive-compare bench-shard-json bench-shard-compare bench-equiv-json bench-equiv-compare profile
+.PHONY: check lint vet fmt-check hermeslint build test race bench-smoke bench bench-json replan-smoke core-smoke chaos-smoke shard-smoke equiv-smoke traffic-smoke bench-core-json bench-compare bench-survive-json bench-survive-compare bench-shard-json bench-shard-compare bench-equiv-json bench-equiv-compare bench-traffic-json bench-traffic-compare profile
 
-check: lint build race bench-smoke replan-smoke core-smoke chaos-smoke shard-smoke equiv-smoke
+check: lint build race bench-smoke replan-smoke core-smoke chaos-smoke shard-smoke equiv-smoke traffic-smoke
 
 # Static analysis gate: gofmt (no unformatted files), go vet, and the
 # repo-specific hermeslint pass (mutex/Clone conventions around the
@@ -101,6 +105,16 @@ shard-smoke:
 equiv-smoke:
 	$(GO) run ./cmd/hermes-bench -exp equiv -smoke
 
+# Traffic smoke gate (Exp#9): on every skewed traffic model the
+# weighted solver must cut the hot-pair coordination byte-rate >=2x
+# vs the structural A_max-optimal plan at <=1.2x A_max inflation, and
+# the batched replay engine must process packets >=10x faster than
+# the per-packet interpreter with zero steady-state allocations per
+# packet. All ratios are measured in-process, so the gate holds on
+# any machine.
+traffic-smoke:
+	$(GO) run ./cmd/hermes-bench -exp traffic -smoke
+
 # Regenerate the committed survivability baseline (BENCH_survive.json
 # is what bench-survive-compare diffs against).
 bench-survive-json:
@@ -152,6 +166,21 @@ bench-equiv-json:
 # allocation-free in the baseline now allocates.
 bench-equiv-compare:
 	$(GO) run ./cmd/hermes-bench -exp equiv -compare BENCH_equiv.json
+
+# Regenerate the committed traffic baseline (run on a quiet machine;
+# BENCH_traffic.json is what bench-traffic-compare diffs against).
+bench-traffic-json:
+	$(GO) run ./cmd/hermes-bench -exp traffic -json BENCH_traffic.json
+
+# Traffic regression gate: plan-quality rows are deterministic in the
+# seed and fail on >10% hot-pair-cut regression (plus the absolute
+# >=2x / <=1.2x acceptance bars); the machine-dependent throughput row
+# fails only if batched ns/op regressed >10% against the committed
+# BENCH_traffic.json AND the in-run speedup over the per-packet
+# interpreter degraded >10%, or if it allocates where the baseline
+# was allocation-free.
+bench-traffic-compare:
+	$(GO) run ./cmd/hermes-bench -exp traffic -compare BENCH_traffic.json
 
 # CPU + heap profiles of the incremental replan path; inspect with
 # `go tool pprof results/cpu.pprof` / `go tool pprof results/mem.pprof`.

@@ -11,6 +11,7 @@
 //	hermes-bench -exp exp7    # incremental replanning under churn
 //	hermes-bench -exp exp8    # survivability under injected faults
 //	hermes-bench -exp exp10   # region-sharded placement at scale
+//	hermes-bench -exp traffic # weighted objective + batched replay (Exp#9)
 //	hermes-bench -exp all
 //
 // Exp#2–Exp#5 iterate the ten Table III WAN topologies with up to 50
@@ -59,7 +60,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("hermes-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig2, exp1, exp2, exp3, exp4, exp5, exp6, exp7, exp8, exp10, core, equiv, all")
+	exp := fs.String("exp", "all", "experiment: fig2, exp1, exp2, exp3, exp4, exp5, exp6, exp7, exp8, exp10, core, equiv, traffic, all")
 	programs := fs.Int("programs", 50, "concurrent programs for exp2-4 and exp7")
 	deadline := fs.Duration("deadline", 3*time.Second, "per-instance solver deadline for exact/ILP solvers")
 	ilp := fs.Bool("ilp", true, "run the genuinely ILP-backed comparison frameworks")
@@ -158,6 +159,8 @@ func (r *runner) run(exp string) error {
 		return r.core()
 	case "equiv":
 		return r.equivBench()
+	case "traffic":
+		return r.trafficBench()
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

@@ -8,6 +8,8 @@
 //	hermes -workload synthetic:20 -topology table3:4 -solver all
 //	hermes -workload sketches:10 -topology linear:3 -json
 //	hermes -workload mixed:6 -topology table3:1 -stage-capacity 0.05 -supervise -fault-schedule rand:20
+//	hermes -workload real:6 -topology table3:1 -traffic gravity:7 -traffic-objective sum
+//	hermes -workload real:6 -topology table3:1 -traffic @matrix.txt
 //	hermes lint -json examples/p4src/bad.p4
 //	hermes equiv -workload real:6 -topology table3:1 -json
 //
@@ -67,6 +69,9 @@ func run(args []string) error {
 	deadline := fs.Duration("deadline", 30*time.Second, "solver deadline for exact/ILP solvers")
 	workers := fs.Int("workers", 0, "solver parallelism (0 = GOMAXPROCS); the plan is identical for every value")
 	shards := fs.Int("shards", 0, "region-sharded placement: split the topology into this many regions solved concurrently (0 = whole-graph)")
+	trafficFlag := fs.String("traffic", "", "traffic matrix for the weighted objective: model[:seed] (uniform, gravity, hotspot, elephants) or @file (Format text); empty = structural A_max objective")
+	trafficObj := fs.String("traffic-objective", "sum", "weighted aggregate when -traffic is set: sum (Σ w·A) or max (hottest pair)")
+	amaxSlack := fs.Float64("amax-slack", 0, "structural A_max inflation a weighted solve may accept, e.g. 1.2 (0 = default bound)")
 	jsonOut := fs.Bool("json", false, "emit the plan as JSON")
 	emitBundle := fs.String("emit-bundle", "", "write the resolved workload as a JSON bundle to this path and exit")
 	verify := fs.Bool("verify", false, "drive packets through the deployment and check equivalence")
@@ -107,6 +112,14 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	traffic, err := parseTraffic(*trafficFlag, topo)
+	if err != nil {
+		return err
+	}
+	objective, err := placement.ParseTrafficObjective(*trafficObj)
+	if err != nil {
+		return err
+	}
 	replanMode, err := hermes.ParseReplanMode(*replanFlag)
 	if err != nil {
 		return err
@@ -133,12 +146,15 @@ func run(args []string) error {
 			}
 		}
 		res, err := hermes.Deploy(progs, topo, hermes.DeployOptions{
-			Solver:         solver,
-			Epsilon1:       *eps1,
-			Epsilon2:       *eps2,
-			SolverDeadline: *deadline,
-			Workers:        *workers,
-			Shards:         *shards,
+			Solver:           solver,
+			Epsilon1:         *eps1,
+			Epsilon2:         *eps2,
+			SolverDeadline:   *deadline,
+			Workers:          *workers,
+			Shards:           *shards,
+			Traffic:          traffic,
+			TrafficObjective: objective,
+			AMaxSlack:        *amaxSlack,
 		})
 		if err != nil {
 			fmt.Printf("%-8s failed: %v\n", solver.Name(), err)
@@ -153,6 +169,15 @@ func run(args []string) error {
 		fmt.Printf("%-8s header=%3dB A_max=%3dB cross=%4dB switches=%2d t_e2e=%-10v solve=%v\n",
 			solver.Name(), res.Deployment.MaxHeaderBytes(), res.Plan.AMax(),
 			res.Plan.TotalCrossBytes(), res.Plan.QOcc(), res.Plan.TE2E(), res.Plan.SolveTime)
+		if traffic != nil {
+			tr, err := hermes.ReplayTraffic(res.Deployment, traffic, 4096, 0, 0)
+			if err != nil {
+				fmt.Printf("         traffic replay failed: %v\n", err)
+			} else {
+				fmt.Printf("         traffic %s objective=%v: weighted-rate=%.1f hot-pair=%.1f goodput=%.0f pkts/s\n",
+					*trafficFlag, objective, tr.WeightedByteRate, tr.HotPairByteRate, tr.Stats.PacketsPerSec)
+			}
+		}
 		if *report {
 			fmt.Println(res.Deployment.Report(programPkg.DefaultResourceModel))
 		}
@@ -204,6 +229,23 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// parseTraffic resolves the -traffic flag: empty means no weighted
+// objective, "@path" loads a Format text file, anything else is a
+// "model[:seed]" spec.
+func parseTraffic(spec string, topo *hermes.Topology) (*hermes.TrafficMatrix, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if path, ok := strings.CutPrefix(spec, "@"); ok {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("reading traffic matrix: %w", err)
+		}
+		return hermes.ParseTraffic(string(data), topo)
+	}
+	return hermes.ParseTrafficSpec(spec, topo)
 }
 
 func parseDrain(spec string) ([]hermes.SwitchID, error) {

@@ -21,6 +21,13 @@
 //	       amortized-scratch idiom belongs outside the loop;
 //	       growing it per iteration defeats the
 //	       allocation-free contract)                         error
+//	HV007  inside a function carrying a //hermes:hot tag, a
+//	       return between a pool Get() and its matching
+//	       Put() drops the pooled buffer on the early-exit
+//	       path, so the pool drains under error load exactly
+//	       when recycling matters most (a deferred Put, or a
+//	       Get whose buffer ownership leaves the function —
+//	       no Put at all — stays legal)                      error
 //
 // It is deliberately x/tools-free: the analysis is a plain go/parser +
 // go/ast walk so it builds in hermetic environments with no module
@@ -128,10 +135,98 @@ func lintGoSource(path, src string) ([]vetFinding, error) {
 			return true
 		}
 		out = append(out, lintFunc(fset, fn)...)
+		if hotFunc(file, fn) {
+			out = append(out, lintPoolFunc(fset, fn)...)
+		}
 		return true
 	})
 	out = append(out, lintHotLoops(fset, file)...)
 	return out, nil
+}
+
+// hotFunc reports whether a function carries the //hermes:hot tag — on
+// its doc comment or anywhere inside its body.
+func hotFunc(file *ast.File, fn *ast.FuncDecl) bool {
+	if fn.Doc != nil && hasHotTag([]*ast.CommentGroup{fn.Doc}) {
+		return true
+	}
+	for _, g := range file.Comments {
+		if g.Pos() >= fn.Body.Pos() && g.End() <= fn.Body.End() && hasHotTag([]*ast.CommentGroup{g}) {
+			return true
+		}
+	}
+	return false
+}
+
+// lintPoolFunc applies HV007 to one //hermes:hot function: a return
+// between a pool Get() and its nearest following non-deferred Put() on
+// the same receiver exits without recycling the buffer. A deferred Put
+// covers every path, and a Get with no Put at all transfers ownership
+// out of the function (the Load/GetBatch idiom), so neither fires.
+// Receivers match syntactically, like everything here: a Get/Put whose
+// rendered chain contains "pool" (case-insensitive) is a pool access.
+func lintPoolFunc(fset *token.FileSet, fn *ast.FuncDecl) []vetFinding {
+	var (
+		events  []lockEvent
+		returns []token.Pos
+		out     []vetFinding
+	)
+	var walk func(n ast.Node, deferred bool)
+	walk = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				walk(n.Call, true)
+				return false
+			case *ast.ReturnStmt:
+				returns = append(returns, n.Pos())
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				m := sel.Sel.Name
+				if m != "Get" && m != "Put" {
+					return true
+				}
+				recv := renderExpr(sel.X)
+				if !strings.Contains(strings.ToLower(recv), "pool") {
+					return true
+				}
+				events = append(events, lockEvent{
+					recv: recv, method: m, deferred: deferred, pos: n.Pos(),
+				})
+			}
+			return true
+		})
+	}
+	walk(fn.Body, false)
+
+	for i, e := range events {
+		if e.deferred || e.method != "Get" {
+			continue
+		}
+		for j := i + 1; j < len(events); j++ {
+			u := events[j]
+			if u.recv != e.recv || u.method != "Put" {
+				continue
+			}
+			if u.deferred {
+				break // recycled at exit: early returns are safe
+			}
+			for _, r := range returns {
+				if r > e.pos && r < u.pos {
+					out = append(out, vetFinding{
+						pos: fset.Position(r), rule: "HV007", sev: "error",
+						msg: fmt.Sprintf("return between %s.Get() and its %s.Put() in //hermes:hot %s drops the pooled buffer on this path; Put it back before returning or defer the Put",
+							e.recv, e.recv, fn.Name.Name),
+					})
+				}
+			}
+			break
+		}
+	}
+	return out
 }
 
 // hotBanned is the map-based scoring surface: the retained reference

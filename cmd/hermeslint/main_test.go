@@ -291,6 +291,127 @@ func fine(w *walker, n int) {
 	}
 }
 
+func TestHotFuncPoolGetEarlyReturn(t *testing.T) {
+	fs := lintSnippet(t, `
+type pipe struct{ pool sync.Pool }
+// bad runs the batch loop.
+//
+//hermes:hot
+func (p *pipe) bad(fail bool) error {
+	b := p.pool.Get()
+	if fail {
+		return nil
+	}
+	p.pool.Put(b)
+	return nil
+}
+`)
+	if got := rulesOf(fs); len(got) != 1 || got[0] != "HV007" {
+		t.Fatalf("want [HV007], got %v", fs)
+	}
+	if fs[0].sev != "error" || !strings.Contains(fs[0].msg, "p.pool.Get()") {
+		t.Fatalf("HV007 must be an error naming the pool chain: %v", fs[0])
+	}
+}
+
+func TestHotFuncBodyTagAlsoCounts(t *testing.T) {
+	// The tag may sit on an inner loop rather than the doc comment; the
+	// function is hot either way.
+	fs := lintSnippet(t, `
+type pipe struct{ pool sync.Pool }
+func (p *pipe) bad(n int) int {
+	b := p.pool.Get()
+	//hermes:hot
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			return i
+		}
+	}
+	p.pool.Put(b)
+	return n
+}
+`)
+	if got := rulesOf(fs); len(got) != 1 || got[0] != "HV007" {
+		t.Fatalf("want [HV007], got %v", fs)
+	}
+}
+
+func TestHotFuncDeferredPutIsSafe(t *testing.T) {
+	fs := lintSnippet(t, `
+type pipe struct{ pool sync.Pool }
+//hermes:hot
+func (p *pipe) good(fail bool) error {
+	b := p.pool.Get()
+	defer p.pool.Put(b)
+	if fail {
+		return nil
+	}
+	return nil
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("want no findings with deferred Put, got %v", fs)
+	}
+}
+
+func TestHotFuncOwnershipTransferAllowed(t *testing.T) {
+	// No Put at all: the buffer leaves the function (GetBatch idiom).
+	fs := lintSnippet(t, `
+type pipe struct{ pool sync.Pool }
+//hermes:hot
+func (p *pipe) alloc() any {
+	return p.pool.Get()
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("want no findings on ownership transfer, got %v", fs)
+	}
+}
+
+func TestColdFuncPoolEarlyReturnAllowed(t *testing.T) {
+	// Without the tag, early-return pool handling is the caller's
+	// business (error paths may legitimately abandon a buffer).
+	fs := lintSnippet(t, `
+type pipe struct{ pool sync.Pool }
+func (p *pipe) fine(fail bool) error {
+	b := p.pool.Get()
+	if fail {
+		return nil
+	}
+	p.pool.Put(b)
+	return nil
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("want no findings on untagged function, got %v", fs)
+	}
+}
+
+func TestHotFuncDistinctPoolsDontPair(t *testing.T) {
+	// A Put on a different pool does not cover the Get.
+	fs := lintSnippet(t, `
+type pipe struct{ batchPool, rowPool sync.Pool }
+//hermes:hot
+func (p *pipe) bad(fail bool) error {
+	b := p.batchPool.Get()
+	r := p.rowPool.Get()
+	p.rowPool.Put(r)
+	if fail {
+		return nil
+	}
+	p.batchPool.Put(b)
+	return nil
+}
+`)
+	got := rulesOf(fs)
+	if len(got) != 1 || got[0] != "HV007" {
+		t.Fatalf("want [HV007] for batchPool only, got %v", fs)
+	}
+	if !strings.Contains(fs[0].msg, "p.batchPool.Get()") {
+		t.Fatalf("finding must name batchPool: %v", fs[0])
+	}
+}
+
 // The repository itself must stay free of error-severity findings:
 // `make check` gates on the binary's exit status, and this test keeps
 // the guarantee visible from `go test ./...` alone.

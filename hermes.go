@@ -142,6 +142,46 @@ func TableIIITopology(i int, spec SwitchSpec) (*Topology, error) {
 	return network.TableIII(i, spec)
 }
 
+// Traffic model (DESIGN.md §13): seeded demand matrices that turn the
+// structural A objective into a byte-rate objective.
+type (
+	// TrafficMatrix is a set of (src, dst, rate) demands over a
+	// topology's switch ID space.
+	TrafficMatrix = network.TrafficMatrix
+	// TrafficDemand is one end-to-end demand entry.
+	TrafficDemand = network.Demand
+	// TrafficObjective selects the weighted aggregate the solvers
+	// minimize when a matrix is supplied.
+	TrafficObjective = placement.TrafficObjective
+)
+
+// Weighted objectives: total coordination byte-rate (sum) or the
+// hottest pair's byte-rate (max).
+const (
+	TrafficWeightedSum = placement.TrafficWeightedSum
+	TrafficWeightedMax = placement.TrafficWeightedMax
+)
+
+// TrafficModels lists the built-in traffic model names (uniform,
+// gravity, hotspot, elephants).
+func TrafficModels() []string { return network.TrafficModels() }
+
+// GenerateTraffic builds a named seeded traffic model over a topology.
+func GenerateTraffic(t *Topology, model string, seed int64) (*TrafficMatrix, error) {
+	return network.GenerateTraffic(t, model, seed)
+}
+
+// ParseTraffic reads the Format text form of a matrix back, validated
+// against t — the `hermes -traffic @file` path.
+func ParseTraffic(text string, t *Topology) (*TrafficMatrix, error) {
+	return network.ParseTraffic(text, t)
+}
+
+// ParseTrafficSpec resolves the "<model>[:<seed>]" CLI spelling.
+func ParseTrafficSpec(spec string, t *Topology) (*TrafficMatrix, error) {
+	return network.ParseTrafficSpec(spec, t)
+}
+
 // Analysis and deployment.
 type (
 	// TDG is a table dependency graph.
@@ -238,6 +278,18 @@ type DeployOptions struct {
 	// through SolveOptions.Shards and honor it if they have a sharded
 	// mode. Zero means whole-graph solving.
 	Shards int
+	// Traffic switches the solvers to the traffic-weighted objective
+	// min Σ w(u,v)·A(u,v) (DESIGN.md §13): coordination bytes are scored
+	// by the packet rate that actually carries them. Nil keeps the
+	// paper's structural A_max objective.
+	Traffic *TrafficMatrix
+	// TrafficObjective picks the weighted aggregate (sum or max) when
+	// Traffic is set; the zero value is TrafficWeightedSum.
+	TrafficObjective TrafficObjective
+	// AMaxSlack caps how far a weighted solve may inflate the
+	// structural A_max above the structural optimum (e.g. 1.2 = 20%);
+	// zero means the default bound. Ignored when Traffic is nil.
+	AMaxSlack float64
 	// Analyze tunes the program analysis step.
 	Analyze AnalyzeOptions
 	// Lint runs the static diagnostics engine (internal/lint) over the
@@ -284,13 +336,16 @@ func Deploy(progs []*Program, topo *Topology, opts DeployOptions) (*Result, erro
 		}
 	}
 	popts := placement.Options{
-		Epsilon1: opts.Epsilon1,
-		Epsilon2: opts.Epsilon2,
-		Workers:  opts.Workers,
-		Lint:     opts.Lint,
-		Equiv:    opts.Equiv,
-		Ctx:      opts.Ctx,
-		Shards:   opts.Shards,
+		Epsilon1:         opts.Epsilon1,
+		Epsilon2:         opts.Epsilon2,
+		Workers:          opts.Workers,
+		Lint:             opts.Lint,
+		Equiv:            opts.Equiv,
+		Ctx:              opts.Ctx,
+		Shards:           opts.Shards,
+		Traffic:          opts.Traffic,
+		TrafficObjective: opts.TrafficObjective,
+		AMaxSlack:        opts.AMaxSlack,
 	}
 	if opts.SolverDeadline > 0 {
 		popts.Deadline = time.Now().Add(opts.SolverDeadline)
@@ -330,6 +385,38 @@ type (
 // NewEngine prepares a packet-level engine for a deployment.
 func NewEngine(dep *Deployment) (*Engine, error) { return dataplane.NewEngine(dep) }
 
+// High-throughput replay (DESIGN.md §13.2).
+type (
+	// BatchPipeline executes a deployment over flat packet batches with
+	// precompiled per-switch programs — the ≥10× faster sibling of
+	// Engine for throughput experiments.
+	BatchPipeline = dataplane.Pipeline
+	// Batch is a column-major block of packets moving through a
+	// BatchPipeline.
+	Batch = dataplane.Batch
+	// ReplayStats aggregates a replay run (packets/sec, coordination
+	// bytes, per-pair byte counts).
+	ReplayStats = dataplane.ReplayStats
+	// TrafficReplayResult is ReplayTraffic's verdict: replay stats plus
+	// the weighted byte-rate aggregates and an FCT proxy.
+	TrafficReplayResult = dataplane.TrafficResult
+)
+
+// NewBatchPipeline compiles a deployment for batched execution.
+// extraHeaders names header fields the workload sets beyond the
+// deployment's own; batchSize <= 0 picks the default.
+func NewBatchPipeline(dep *Deployment, extraHeaders []string, batchSize int) (*BatchPipeline, error) {
+	return dataplane.NewPipeline(dep, extraHeaders, batchSize)
+}
+
+// ReplayTraffic drives a traffic matrix through a deployment on the
+// batched pipeline, apportioning the packet budget over demands by
+// rate, and reports goodput plus the measured weighted coordination
+// byte-rates.
+func ReplayTraffic(dep *Deployment, tm *TrafficMatrix, packets, batchSize, workers int) (*TrafficReplayResult, error) {
+	return dataplane.ReplayTraffic(dep, tm, packets, batchSize, workers)
+}
+
 // VerifyEquivalence checks that the distributed deployment processes
 // the packet stream identically to a single unconstrained switch, and
 // returns the largest coordination header observed.
@@ -357,6 +444,20 @@ func CheckEquivalence(dep *Deployment) error {
 func DiagnoseEquivalence(dep *Deployment) (*EquivReport, error) {
 	return equiv.Diagnose(nil, dep)
 }
+
+// EquivRechecker proves successive plans over one reference TDG,
+// re-proving after a replan only the field-closed components that
+// actually moved (the incremental equivalence gate; see
+// internal/equiv).
+type EquivRechecker = equiv.Rechecker
+
+// RecheckStats reports which path one recheck took (full or
+// incremental) and how much of the pipeline it re-proved.
+type RecheckStats = equiv.RecheckStats
+
+// NewEquivRechecker builds an incremental equivalence checker for a
+// reference TDG.
+func NewEquivRechecker(g *TDG) (*EquivRechecker, error) { return equiv.NewRechecker(g) }
 
 // DefaultFlow returns the paper's DCN flow configuration for a packet
 // size.

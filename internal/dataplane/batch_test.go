@@ -1,0 +1,244 @@
+package dataplane
+
+import (
+	"testing"
+
+	"github.com/hermes-net/hermes/internal/deploy"
+	"github.com/hermes-net/hermes/internal/network"
+)
+
+// TestBatchedMatchesInterpreter is the differential gate for the
+// batched engine: the same packet stream through the per-packet
+// interpreter and the compiled pipeline must produce identical write
+// histories (values and written-field sets) and identical final
+// headers, packet by packet — stateful counters included.
+func TestBatchedMatchesInterpreter(t *testing.T) {
+	dep := deployOnTestbed(t)
+	packets := randomPackets(300, 3)
+
+	eng, err := NewEngine(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interp := make([]*Result, len(packets))
+	for i, p := range packets {
+		interp[i], err = eng.Process(p.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	p, err := NewPipeline(dep, nil, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.RecordWrites = true
+	for lo := 0; lo < len(packets); lo += p.BatchSize() {
+		hi := lo + p.BatchSize()
+		if hi > len(packets) {
+			hi = len(packets)
+		}
+		chunk := make([]*Packet, 0, hi-lo)
+		for _, pk := range packets[lo:hi] {
+			chunk = append(chunk, pk.Clone())
+		}
+		b, err := p.Load(chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Run(b); err != nil {
+			t.Fatal(err)
+		}
+		for i := range chunk {
+			gi := lo + i
+			if err := compareWrites(interp[gi].Writes, b.Writes(i)); err != nil {
+				t.Fatalf("packet %d write histories diverge: %v", gi, err)
+			}
+			out := chunk[i].Clone()
+			p.Unload(b, i, out)
+			for name, want := range interp[gi].Packet.Headers {
+				if got := out.Headers[name]; got != want {
+					t.Fatalf("packet %d header %q = %d, interpreter %d", gi, name, got, want)
+				}
+			}
+		}
+		p.PutBatch(b)
+	}
+}
+
+// TestBatchedPipelinedDeterminism runs the identical stream through a
+// sequential pipeline and a per-switch-worker pipeline and demands
+// byte-identical outcomes: every final header column and every counter
+// register must match, so worker handoff cannot perturb per-switch
+// packet order.
+func TestBatchedPipelinedDeterminism(t *testing.T) {
+	dep := deployOnTestbed(t)
+	packets := randomPackets(512, 7)
+
+	run := func(workers int) ([][]uint64, [][]uint64, *ReplayStats) {
+		p, err := NewPipeline(dep, nil, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hdrRows [][]uint64
+		p.Collect = func(b *Batch) {
+			for i := 0; i < b.Len(); i++ {
+				row := make([]uint64, p.nHdr)
+				copy(row, b.hdr[i*p.nHdr:(i+1)*p.nHdr])
+				hdrRows = append(hdrRows, row)
+			}
+		}
+		var batches []*Batch
+		for lo := 0; lo < len(packets); lo += p.BatchSize() {
+			hi := lo + p.BatchSize()
+			if hi > len(packets) {
+				hi = len(packets)
+			}
+			chunk := make([]*Packet, 0, hi-lo)
+			for _, pk := range packets[lo:hi] {
+				chunk = append(chunk, pk.Clone())
+			}
+			b, err := p.Load(chunk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batches = append(batches, b)
+		}
+		stats, err := p.Replay(batches, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hdrRows, p.counters, stats
+	}
+
+	seqHdr, seqCnt, seqStats := run(1)
+	parHdr, parCnt, parStats := run(8)
+
+	if !parStats.Pipelined {
+		t.Fatal("workers=8 did not engage the per-switch pipeline")
+	}
+	if seqStats.Packets != len(packets) || parStats.Packets != len(packets) {
+		t.Fatalf("packet counts: sequential %d, pipelined %d, want %d",
+			seqStats.Packets, parStats.Packets, len(packets))
+	}
+	if len(seqHdr) != len(parHdr) {
+		t.Fatalf("row counts diverge: %d vs %d", len(seqHdr), len(parHdr))
+	}
+	for i := range seqHdr {
+		for j := range seqHdr[i] {
+			if seqHdr[i][j] != parHdr[i][j] {
+				t.Fatalf("packet %d header column %d: sequential %d, pipelined %d",
+					i, j, seqHdr[i][j], parHdr[i][j])
+			}
+		}
+	}
+	if len(seqCnt) != len(parCnt) {
+		t.Fatalf("counter files diverge: %d vs %d", len(seqCnt), len(parCnt))
+	}
+	for c := range seqCnt {
+		for s := range seqCnt[c] {
+			if seqCnt[c][s] != parCnt[c][s] {
+				t.Fatalf("counter %d slot %d: sequential %d, pipelined %d",
+					c, s, seqCnt[c][s], parCnt[c][s])
+			}
+		}
+	}
+	if seqStats.CoordBytes != parStats.CoordBytes {
+		t.Fatalf("coord bytes: sequential %d, pipelined %d", seqStats.CoordBytes, parStats.CoordBytes)
+	}
+}
+
+// TestBatchedCoordinationContract sabotages the coordination headers
+// and expects the batched engine to raise the same hard error the
+// interpreter does, in both sequential and pipelined modes.
+func TestBatchedCoordinationContract(t *testing.T) {
+	dep := deployOnTestbed(t)
+	for _, cfg := range dep.Configs {
+		for to := range cfg.Exports {
+			cfg.Exports[to] = deploy.CoordHeader{}
+		}
+		for from := range cfg.Imports {
+			cfg.Imports[from] = deploy.CoordHeader{}
+		}
+	}
+	p, err := NewPipeline(dep, nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Load(randomPackets(8, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(b); err == nil {
+		t.Fatal("sequential run: stripped coordination headers went undetected")
+	}
+	p2, err := NewPipeline(dep, nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := p2.Load(randomPackets(8, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Replay([]*Batch{b2}, 8); err == nil {
+		t.Fatal("pipelined run: stripped coordination headers went undetected")
+	}
+}
+
+// TestReplayTraffic replays a generated traffic matrix through the
+// deployment and checks the weighted coordination metrics line up with
+// the analytic w·A aggregation.
+func TestReplayTraffic(t *testing.T) {
+	dep := deployOnTestbed(t)
+	tm, err := network.GenerateTraffic(dep.Plan.Topo, network.TrafficGravity, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReplayTraffic(dep, tm, 1000, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Packets != 1000 {
+		t.Fatalf("replayed %d packets, want 1000", res.Stats.Packets)
+	}
+	if res.Stats.PacketsPerSec <= 0 {
+		t.Error("non-positive goodput")
+	}
+	if res.WeightedByteRate <= 0 || res.HotPairByteRate <= 0 {
+		t.Errorf("weighted metrics not populated: sum %g, hot %g",
+			res.WeightedByteRate, res.HotPairByteRate)
+	}
+	if res.HotPairByteRate > res.WeightedByteRate {
+		t.Error("hot-pair byte-rate exceeds the network-wide sum")
+	}
+	if res.FCTProxy <= 0 {
+		t.Error("non-positive FCT proxy")
+	}
+}
+
+// TestApportionConserves checks the largest-remainder split is exact
+// and deterministic.
+func TestApportionConserves(t *testing.T) {
+	tm := &network.TrafficMatrix{S: 4, Demands: []network.Demand{
+		{Src: 0, Dst: 1, Rate: 1},
+		{Src: 1, Dst: 2, Rate: 2.5},
+		{Src: 2, Dst: 3, Rate: 0.25},
+	}}
+	counts := apportion(tm, 1000)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 1000 {
+		t.Fatalf("apportioned %d packets, want 1000", total)
+	}
+	again := apportion(tm, 1000)
+	for i := range counts {
+		if counts[i] != again[i] {
+			t.Fatal("apportion not deterministic")
+		}
+	}
+	if counts[1] <= counts[0] || counts[0] <= counts[2] {
+		t.Fatalf("apportion ignores rates: %v", counts)
+	}
+}

@@ -16,7 +16,7 @@ import (
 // measurementProgram is a realistic three-stage pipeline: hash the
 // 5-tuple into an index, count by index, and flag heavy hitters by a
 // range match on the count.
-func measurementProgram(t *testing.T) *program.Program {
+func measurementProgram(t testing.TB) *program.Program {
 	t.Helper()
 	idx := fields.Metadata("meta.idx", 32)
 	cnt := fields.Metadata("meta.cnt", 32)
@@ -47,7 +47,7 @@ func measurementProgram(t *testing.T) *program.Program {
 
 // deployOnTestbed analyzes the program, deploys it with Hermes on a
 // small testbed forcing a multi-switch split, and compiles it.
-func deployOnTestbed(t *testing.T) *deploy.Deployment {
+func deployOnTestbed(t testing.TB) *deploy.Deployment {
 	t.Helper()
 	g, err := analyzer.Analyze([]*program.Program{measurementProgram(t)}, analyzer.Options{})
 	if err != nil {

@@ -124,6 +124,16 @@ func (c *Checker) CheckPlan(p *placement.Plan, aopts analyzer.Options) error {
 // clean runs the allocation-free structural screen and symbolic walk;
 // false means the diagnostic pass must explain.
 func (c *Checker) clean() bool {
+	return c.structuralClean() && c.walkClean()
+}
+
+// structuralClean is the screen preceding the symbolic walk: the visit
+// order is realizable, every reference MAT executes exactly once,
+// nothing unknown executes, and drifted definitions are behaviorally
+// equal. The incremental re-checker (Rechecker) runs this globally
+// before trusting per-component sub-walks, because these are the only
+// clean() conditions a field-closed component cannot decide locally.
+func (c *Checker) structuralClean() bool {
 	if c.cycle || len(c.unknown) > 0 || len(c.noDef) > 0 {
 		return false
 	}
@@ -139,7 +149,7 @@ func (c *Checker) clean() bool {
 			return false
 		}
 	}
-	return c.walkClean()
+	return true
 }
 
 // deployedDef resolves the MAT definition the engine would execute.

@@ -1,0 +1,342 @@
+package network
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func trafficTopo(t *testing.T, n int) *Topology {
+	t.Helper()
+	tp, err := Linear(n, TofinoSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func wanTopo(t *testing.T) *Topology {
+	t.Helper()
+	tp, err := RandomWAN("wan24", 24, 40, TofinoSpec(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestGenerateTrafficDeterministic(t *testing.T) {
+	tp := wanTopo(t)
+	for _, model := range TrafficModels() {
+		a, err := GenerateTraffic(tp, model, 11)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		b, err := GenerateTraffic(tp, model, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Demands, b.Demands) {
+			t.Errorf("%s: same (topology, seed) produced different demands", model)
+		}
+	}
+	// The seeded models must actually consume the seed.
+	for _, model := range []string{TrafficGravity, TrafficElephants} {
+		a, _ := GenerateTraffic(tp, model, 11)
+		b, _ := GenerateTraffic(tp, model, 12)
+		if reflect.DeepEqual(a.Demands, b.Demands) {
+			t.Errorf("%s: seeds 11 and 12 produced identical demands", model)
+		}
+	}
+}
+
+func TestGenerateTrafficModelsValid(t *testing.T) {
+	tp := wanTopo(t)
+	for _, model := range TrafficModels() {
+		tm, err := GenerateTraffic(tp, model, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if err := tm.Validate(tp); err != nil {
+			t.Fatalf("%s: generated matrix invalid: %v", model, err)
+		}
+		if len(tm.Demands) == 0 {
+			t.Fatalf("%s: no demands", model)
+		}
+		for i, d := range tm.Demands {
+			if !(d.Rate > 0) || math.IsInf(d.Rate, 0) {
+				t.Fatalf("%s: demand %d has rate %g", model, i, d.Rate)
+			}
+			if i > 0 {
+				p := tm.Demands[i-1]
+				if p.Src > d.Src || (p.Src == d.Src && p.Dst >= d.Dst) {
+					t.Fatalf("%s: demands not sorted/deduped at %d: %+v then %+v", model, i, p, d)
+				}
+			}
+		}
+	}
+	if _, err := GenerateTraffic(tp, "tide", 1); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := GenerateTraffic(trafficTopo(t, 1), TrafficUniform, 1); err == nil {
+		t.Error("single-switch topology accepted")
+	}
+}
+
+func TestHotspotSkew(t *testing.T) {
+	tm, err := GenerateTraffic(wanTopo(t), TrafficHotspot, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := math.Inf(1), 0.0
+	for _, d := range tm.Demands {
+		min = math.Min(min, d.Rate)
+		max = math.Max(max, d.Rate)
+	}
+	if max < 64*min {
+		t.Errorf("hotspot skew max/min = %g, want >= 64", max/min)
+	}
+}
+
+func TestElephantsSkew(t *testing.T) {
+	tm, err := GenerateTraffic(wanTopo(t), TrafficElephants, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSrcTotal := map[SwitchID]float64{}
+	perSrcMax := map[SwitchID]float64{}
+	for _, d := range tm.Demands {
+		perSrcTotal[d.Src] += d.Rate
+		perSrcMax[d.Src] = math.Max(perSrcMax[d.Src], d.Rate)
+	}
+	for src, total := range perSrcTotal {
+		if perSrcMax[src] < 0.9*total {
+			t.Errorf("source %d: largest demand carries %g of %g (< 90%%)", src, perSrcMax[src], total)
+		}
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	tp := wanTopo(t)
+	for _, model := range TrafficModels() {
+		tm, err := GenerateTraffic(tp, model, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text, err := tm.Format()
+		if err != nil {
+			t.Fatalf("%s: Format: %v", model, err)
+		}
+		back, err := ParseTraffic(text, tp)
+		if err != nil {
+			t.Fatalf("%s: ParseTraffic: %v", model, err)
+		}
+		if back.Topology != tm.Topology || back.Model != tm.Model || back.Seed != tm.Seed || back.S != tm.S {
+			t.Errorf("%s: header drifted: got (%s %s %d %d), want (%s %s %d %d)",
+				model, back.Topology, back.Model, back.Seed, back.S, tm.Topology, tm.Model, tm.Seed, tm.S)
+		}
+		if !reflect.DeepEqual(back.Demands, tm.Demands) {
+			t.Errorf("%s: demands did not round-trip exactly", model)
+		}
+	}
+}
+
+func TestParseTrafficErrors(t *testing.T) {
+	tp := trafficTopo(t, 4)
+	cases := []struct {
+		name, text string
+	}{
+		{"missing switches", "0 1 2.5\n"},
+		{"no demands", "switches 4\n"},
+		{"bad arity", "switches 4\n0 1\n"},
+		{"bad src", "switches 4\nx 1 2\n"},
+		{"bad dst", "switches 4\n0 y 2\n"},
+		{"bad rate", "switches 4\n0 1 fast\n"},
+		{"bad seed line", "seed seven\nswitches 4\n0 1 2\n"},
+		{"bad switches line", "switches none\n0 1 2\n"},
+		{"switch mismatch", "switches 5\n0 1 2\n"},
+		{"out of range", "switches 4\n0 9 2\n"},
+		{"negative endpoint", "switches 4\n-1 2 2\n"},
+		{"equal endpoints", "switches 4\n2 2 2\n"},
+		{"zero rate", "switches 4\n0 1 0\n"},
+		{"negative rate", "switches 4\n0 1 -3\n"},
+		{"nan rate", "switches 4\n0 1 NaN\n"},
+		{"inf rate", "switches 4\n0 1 +Inf\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseTraffic(c.text, tp); err == nil {
+			t.Errorf("%s: accepted %q", c.name, c.text)
+		}
+	}
+}
+
+func TestParseTrafficMergesDuplicates(t *testing.T) {
+	tp := trafficTopo(t, 4)
+	tm, err := ParseTraffic("switches 4\n2 1 0.5\n0 1 1.5\n0 1 1\n", tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Demand{{Src: 0, Dst: 1, Rate: 2.5}, {Src: 2, Dst: 1, Rate: 0.5}}
+	if !reflect.DeepEqual(tm.Demands, want) {
+		t.Fatalf("got %+v, want %+v", tm.Demands, want)
+	}
+	if tm.Model != "custom" {
+		t.Errorf("default model = %q, want custom", tm.Model)
+	}
+}
+
+func TestParseTrafficSpec(t *testing.T) {
+	tp := trafficTopo(t, 6)
+	got, err := ParseTrafficSpec("gravity:7", tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := GenerateTraffic(tp, TrafficGravity, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Demands, want.Demands) {
+		t.Error("gravity:7 spec diverged from GenerateTraffic(gravity, 7)")
+	}
+	def, err := ParseTrafficSpec("uniform", tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Seed != 1 {
+		t.Errorf("default seed = %d, want 1", def.Seed)
+	}
+	if _, err := ParseTrafficSpec("gravity:soon", tp); err == nil {
+		t.Error("bad seed accepted")
+	}
+	if _, err := ParseTrafficSpec("tide:3", tp); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+// TestPairRatesPathProjection pins the semantics on a 3-switch line:
+// one 0→2 demand loads every ordered pair its path visits, in path
+// order only.
+func TestPairRatesPathProjection(t *testing.T) {
+	tp := trafficTopo(t, 3)
+	tm := &TrafficMatrix{Topology: tp.Name, Model: "custom", S: 3,
+		Demands: []Demand{{Src: 0, Dst: 2, Rate: 5}}}
+	rates, err := tm.PairRates(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]float64{0*3 + 1: 5, 0*3 + 2: 5, 1*3 + 2: 5}
+	for i, r := range rates {
+		if r != want[i] {
+			t.Errorf("rates[%d->%d] = %g, want %g", i/3, i%3, r, want[i])
+		}
+	}
+}
+
+func TestPairRatesMemoized(t *testing.T) {
+	tp := trafficTopo(t, 5)
+	tm, err := GenerateTraffic(tp, TrafficGravity, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tm.PairRates(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tm.PairRates(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Error("repeated PairRates on one topology recomputed the table")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	tp := trafficTopo(t, 5)
+	tm, err := GenerateTraffic(tp, TrafficGravity, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := tm.PairRates(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := []SwitchID{4, 1}
+	sub, err := tm.Restrict(tp, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.S != 2 || sub.Model != "restricted" {
+		t.Fatalf("restricted shape: S=%d model=%q", sub.S, sub.Model)
+	}
+	// The compacted table must be read through a same-sized topology.
+	rates, err := sub.PairRates(trafficTopo(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, gi := range members {
+		for j, gj := range members {
+			if i == j {
+				continue
+			}
+			if got, want := rates[i*2+j], global[int(gi)*5+int(gj)]; got != want {
+				t.Errorf("restricted[%d->%d] = %g, want global[%d->%d] = %g", i, j, got, gi, gj, want)
+			}
+		}
+	}
+	if _, err := sub.Format(); err == nil {
+		t.Error("restricted matrix formatted")
+	}
+	if _, err := sub.PairRates(tp); err == nil {
+		t.Error("restricted matrix accepted a 5-switch topology")
+	}
+}
+
+// FuzzParseTraffic drives the text parser with mutated matrices: it
+// must never panic, never accept an invalid matrix, and every accepted
+// matrix must survive a Format/Parse round trip unchanged.
+func FuzzParseTraffic(f *testing.F) {
+	tp, err := Linear(6, TofinoSpec())
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, model := range TrafficModels() {
+		tm, err := GenerateTraffic(tp, model, 13)
+		if err != nil {
+			f.Fatal(err)
+		}
+		text, err := tm.Format()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(text)
+	}
+	f.Add("switches 6\n0 1 2.5\n")
+	f.Add("# comment\ntopology wan\nmodel custom\nseed -3\nswitches 6\n5 0 1e-9\n")
+	f.Add("switches 6\n0 1 NaN\n")
+	f.Add("switches 2\n0 1 1\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		tm, err := ParseTraffic(text, tp)
+		if err != nil {
+			return
+		}
+		if err := tm.Validate(tp); err != nil {
+			t.Fatalf("accepted matrix fails Validate: %v\ninput: %q", err, text)
+		}
+		out, err := tm.Format()
+		if err != nil {
+			t.Fatalf("accepted matrix cannot Format: %v", err)
+		}
+		back, err := ParseTraffic(out, tp)
+		if err != nil {
+			t.Fatalf("formatted matrix does not re-parse: %v\n%s", err, out)
+		}
+		if back.S != tm.S || !reflect.DeepEqual(back.Demands, tm.Demands) {
+			t.Fatalf("round trip drifted:\nfirst:  %+v\nsecond: %+v\ninput: %q", tm.Demands, back.Demands, text)
+		}
+		if strings.Contains(out, "\x00") {
+			t.Fatalf("format emitted a NUL byte")
+		}
+	})
+}

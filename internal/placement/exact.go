@@ -70,6 +70,18 @@ type exactState struct {
 	seen  []bool
 	stack []int32
 
+	// Weighted objective state (Options.Traffic): wt is the compiled
+	// weight table, curW the running weighted score of the partial
+	// assignment (monotone under edge additions for both aggregates, so
+	// it is an admissible bound), bestW the incumbent's score, and
+	// amaxCap the structural-inflation ceiling (Options.AMaxSlack × the
+	// unweighted greedy baseline). nil wt means the structural search.
+	wt      *WeightTable
+	wobj    TrafficObjective
+	curW    int64
+	bestW   int64
+	amaxCap int
+
 	bestA    int
 	bestSet  []int32
 	haveBest bool
@@ -168,6 +180,63 @@ func (st *exactState) subPair(cell, bytes int32) {
 	st.swCnt[cell]--
 }
 
+// bumpWeighted folds one addPair into the running weighted score.
+func (st *exactState) bumpWeighted(cell, bytes int32) {
+	if st.wt == nil {
+		return
+	}
+	if st.wobj == TrafficWeightedMax {
+		if wv := st.wt.W[cell] * int64(st.pair[cell]); wv > st.curW {
+			st.curW = wv
+		}
+		return
+	}
+	st.curW += st.wt.W[cell] * int64(bytes)
+}
+
+// boundOK reports whether the current partial score can still beat the
+// incumbent: the structural bound when wt is nil, and the weighted
+// bound plus the structural-inflation cap otherwise. Both running
+// scores are monotone under further assignments, so pruning on them is
+// admissible; equality against sharedBest never prunes (see its doc).
+func (st *exactState) boundOK() bool {
+	if st.wt == nil {
+		return (!st.haveBest || st.curMax < st.bestA) && int64(st.curMax) <= st.sharedBest.Load()
+	}
+	return st.curMax <= st.amaxCap &&
+		(!st.haveBest || st.curW < st.bestW) &&
+		st.curW <= st.sharedBest.Load()
+}
+
+// adopt offers a complete dense assignment as an incumbent, scoring it
+// under the active objective (strict improvement only, preserving the
+// warm-start ordering semantics).
+func (st *exactState) adopt(dense []int32) {
+	pt := st.ci.NewPairTable()
+	a := st.ci.AssignmentAMax(dense, pt)
+	if st.wt == nil {
+		if !st.haveBest || a < st.bestA {
+			st.bestA, st.bestSet, st.haveBest = a, dense, true
+		}
+		return
+	}
+	if a > st.amaxCap {
+		return
+	}
+	sum, max := st.wt.Score(pt)
+	if w := st.wobj.pick(sum, max); !st.haveBest || w < st.bestW {
+		st.bestW, st.bestA, st.bestSet, st.haveBest = w, a, dense, true
+	}
+}
+
+// incumbentScore is the value published to sharedBest.
+func (st *exactState) incumbentScore() int64 {
+	if st.wt == nil {
+		return int64(st.bestA)
+	}
+	return st.bestW
+}
+
 // Solve implements Solver.
 func (e Exact) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Plan, error) {
 	start := time.Now()
@@ -221,32 +290,48 @@ func (e Exact) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Plan,
 			homogeneous = false
 		}
 	}
+	if opts.Traffic != nil {
+		wt, werr := ci.CompileWeights(opts.Traffic)
+		if werr != nil {
+			return nil, fmt.Errorf("placement: %w", werr)
+		}
+		st.wt = wt
+		st.wobj = opts.TrafficObjective
+		st.bestW = math.MaxInt64
+		st.amaxCap = int(^uint(0) >> 1)
+	}
 	// Symmetry breaking (a MAT may open only the lowest-indexed unused
 	// switch) is sound only when switches are interchangeable for the
-	// objective: homogeneous capacities and no latency bound.
-	st.symmetry = homogeneous && opts.Epsilon1 == 0
+	// objective: homogeneous capacities, no latency bound, and no
+	// traffic weights (weights distinguish pairs by identity).
+	st.symmetry = homogeneous && opts.Epsilon1 == 0 && st.wt == nil
 
+	// Under the weighted objective, the structural-inflation cap is
+	// anchored to an unweighted greedy baseline: the weighted optimum
+	// may not inflate A_max beyond AMaxSlack × the plan a structural
+	// solve would ship.
+	if st.wt != nil {
+		baseOpts := opts
+		baseOpts.Traffic = nil
+		if base, err := (Greedy{}).Solve(g, topo, baseOpts); err == nil {
+			st.amaxCap = opts.amaxCap(base.AMax())
+			st.adopt(ci.PlanAssign(base))
+		}
+	}
 	// Warm start with the greedy heuristic to obtain a strong incumbent
 	// (the greedy itself reuses opts.Warm when set, so a warm seed
 	// tightens this bound transitively).
 	if warm, err := (Greedy{}).Solve(g, topo, opts); err == nil {
-		st.bestA = warm.AMax()
-		st.bestSet = ci.PlanAssign(warm)
-		st.haveBest = true
+		st.adopt(ci.PlanAssign(warm))
 	}
 	// Seed opts.Warm directly as well: the contract is that a
 	// warm-started "Optimal" never reports worse than its seed, even
 	// when the heuristic errors out (or lands above the seed).
 	if assign, ok := warmSeed(g, topo, opts); ok {
-		dense := ci.DenseAssign(assign)
-		if a := ci.AssignmentAMax(dense, ci.NewPairTable()); !st.haveBest || a < st.bestA {
-			st.bestA = a
-			st.bestSet = dense
-			st.haveBest = true
-		}
+		st.adopt(ci.DenseAssign(assign))
 	}
 	if st.haveBest {
-		st.sharedBest.Store(int64(st.bestA))
+		st.sharedBest.Store(st.incumbentScore())
 	}
 
 	if workers := opts.workers(); workers > 1 && len(st.orderIdx) > 1 {
@@ -331,6 +416,7 @@ func (st *exactState) dfs(i int) {
 		// frame on the shared undo stack.
 		base := len(st.undoCell)
 		prevMax := st.curMax
+		prevW := st.curW
 		ok := true
 		for _, ei := range st.ci.In[x] {
 			pu := st.assign[st.ci.EdgeFrom[ei]]
@@ -347,9 +433,10 @@ func (st *exactState) dfs(i int) {
 			if int(st.pair[cell]) > st.curMax {
 				st.curMax = int(st.pair[cell])
 			}
+			st.bumpWeighted(cell, b)
 			st.pushUndo(cell, b)
 		}
-		if ok && (!st.haveBest || st.curMax < st.bestA) && int64(st.curMax) <= st.sharedBest.Load() {
+		if ok && st.boundOK() {
 			st.assign[x] = ui
 			st.load[u] += req
 			if newSwitch {
@@ -369,6 +456,7 @@ func (st *exactState) dfs(i int) {
 		st.undoCell = st.undoCell[:base]
 		st.undoByte = st.undoByte[:base]
 		st.curMax = prevMax
+		st.curW = prevW
 		if st.capped {
 			return
 		}
@@ -438,8 +526,13 @@ func searchParallel(root *exactState, workers int) {
 		if b.capped {
 			root.capped = true
 		}
-		if b.haveBest && (!root.haveBest || b.bestA < root.bestA) {
+		better := b.haveBest && (!root.haveBest || b.bestA < root.bestA)
+		if root.wt != nil {
+			better = b.haveBest && (!root.haveBest || b.bestW < root.bestW)
+		}
+		if better {
 			root.bestA = b.bestA
+			root.bestW = b.bestW
 			root.bestSet = b.bestSet
 			root.haveBest = true
 		}
@@ -496,12 +589,14 @@ func (st *exactState) expand(i int) []expandedChild {
 				break
 			}
 			cell := pu*s + ui
-			ch.addPair(cell, st.ci.EdgeBytes[ei])
+			b := st.ci.EdgeBytes[ei]
+			ch.addPair(cell, b)
 			if int(ch.pair[cell]) > ch.curMax {
 				ch.curMax = int(ch.pair[cell])
 			}
+			ch.bumpWeighted(cell, b)
 		}
-		if !ok || (ch.haveBest && ch.curMax >= ch.bestA) {
+		if !ok || !ch.boundOK() {
 			continue
 		}
 		ch.assign[x] = ui
@@ -550,9 +645,13 @@ func (st *exactState) reachable(src, dst int32) bool {
 }
 
 // evaluateLeaf validates a complete assignment and records it when it
-// improves the incumbent.
+// improves the incumbent (under the active objective).
 func (st *exactState) evaluateLeaf() {
-	if st.haveBest && st.curMax >= st.bestA {
+	if st.wt == nil {
+		if st.haveBest && st.curMax >= st.bestA {
+			return
+		}
+	} else if st.curMax > st.amaxCap || (st.haveBest && st.curW >= st.bestW) {
 		return
 	}
 	// Stage-level packing per switch.
@@ -593,13 +692,15 @@ func (st *exactState) evaluateLeaf() {
 		}
 	}
 	st.bestA = st.curMax
+	st.bestW = st.curW
 	st.bestSet = append([]int32(nil), st.assign...)
 	st.haveBest = true
 	// Publish the improvement so sibling branches prune against it
 	// (monotone min; equality keeps the first stored value).
+	val := st.incumbentScore()
 	for {
 		cur := st.sharedBest.Load()
-		if int64(st.bestA) >= cur || st.sharedBest.CompareAndSwap(cur, int64(st.bestA)) {
+		if val >= cur || st.sharedBest.CompareAndSwap(cur, val) {
 			break
 		}
 	}

@@ -104,6 +104,78 @@ func localImproveFiltered(p *Plan, opts Options, rm program.ResourceModel, deadl
 		}
 	}
 
+	// Weighted refinement (DESIGN.md §13): with a traffic matrix set,
+	// a second climb descends the weighted objective starting from the
+	// structural optimum the passes above converged to. The structural
+	// A_max acts as a hard cap at amaxSlack × that optimum, so the
+	// refined plan's worst pair stays within the slack of the plan an
+	// unweighted solve would ship — the ≤1.2× inflation bound holds by
+	// construction. Same shape as the structural climb: parallel
+	// absolute scoring, serial first-improvement acceptance on the
+	// lexicographic (W, A_max, cross) key, deterministic for every
+	// worker count.
+	if opts.Traffic != nil {
+		wt, err := ci.CompileWeights(opts.Traffic)
+		if err != nil {
+			return err
+		}
+		acap := opts.amaxCap(bestA)
+		curSum, curMax := wt.Score(st.pt)
+		bestW := opts.TrafficObjective.pick(curSum, curMax)
+		type wScore struct {
+			sum, max int64
+			a, cross int
+			valid    bool
+		}
+		wscores := make([]wScore, len(used))
+		for pass := 0; pass < maxPasses; pass++ {
+			improved := false
+			for xi := range ci.Names {
+				if only != nil && !only[ci.Names[xi]] {
+					continue
+				}
+				if poll.Expired() {
+					break
+				}
+				cur := st.assign[xi]
+				parallelForShard(len(used), workers, func(shard, k int) {
+					if int32(used[k]) == cur {
+						wscores[k] = wScore{}
+						return
+					}
+					a, cross := ci.MoveScore(st.assign, st.pt, scratches[shard], int32(xi), int32(used[k]), st.total)
+					ws, wm := ci.MoveScoreWeighted(st.assign, st.pt, scratches[shard], wt, int32(xi), int32(used[k]), curSum)
+					wscores[k] = wScore{sum: ws, max: wm, a: a, cross: cross, valid: true}
+				})
+				for k, cand := range used {
+					sc := wscores[k]
+					if !sc.valid || int32(cand) == cur || sc.a > acap {
+						continue
+					}
+					w := opts.TrafficObjective.pick(sc.sum, sc.max)
+					if w > bestW ||
+						(w == bestW && (sc.a > bestA || (sc.a == bestA && sc.cross >= bestCross))) {
+						continue
+					}
+					st.assign[xi] = int32(cand)
+					if !st.moveFeasible(opts, rm, feas, network.SwitchID(cur), cand) {
+						st.assign[xi] = cur
+						continue
+					}
+					st.assign[xi] = cur
+					st.total = ci.ApplyMove(st.assign, st.pt, int32(xi), int32(cand), st.total)
+					bestW, curSum = w, sc.sum
+					bestA, bestCross = sc.a, sc.cross
+					cur = int32(cand)
+					improved = true
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+	}
+
 	// Rebuild the plan from the (possibly) improved assignment.
 	rebuilt, err := materializeAssignment(p.Graph, p.Topo, ci.AssignMap(st.assign), rm)
 	if err != nil {

@@ -117,6 +117,10 @@ type ReplanReport struct {
 	DirtyMATs int
 	// MovedMATs is Diff(old, new): how many MATs changed hosting switch.
 	MovedMATs int
+	// Moved lists the MATs that changed hosting switch, sorted — the
+	// incremental equivalence re-check keys its dirty-program set off
+	// this (equiv.Rechecker).
+	Moved []string
 	// RepairTime is the wall-clock spent inside the repair pass
 	// (including an abandoned attempt that fell back).
 	RepairTime time.Duration
@@ -192,7 +196,8 @@ func ReplanWithOptions(old *Plan, solver Solver, ropts ReplanOptions, drained ..
 		rep.DirtyMATs = dirty
 		if rerr == nil {
 			rep.UsedRepair = true
-			rep.MovedMATs, _ = Diff(old, plan)
+			rep.Moved, _ = MovedNames(old, plan)
+			rep.MovedMATs = len(rep.Moved)
 			rep.TotalTime = time.Since(start)
 			plan.SolveTime = rep.TotalTime
 			return plan, rep, nil
@@ -209,7 +214,8 @@ func ReplanWithOptions(old *Plan, solver Solver, ropts ReplanOptions, drained ..
 		rep.TotalTime = time.Since(start)
 		return nil, rep, fmt.Errorf("placement: replan: %w", err)
 	}
-	rep.MovedMATs, _ = Diff(old, plan)
+	rep.Moved, _ = MovedNames(old, plan)
+	rep.MovedMATs = len(rep.Moved)
 	rep.TotalTime = time.Since(start)
 	return plan, rep, nil
 }
@@ -302,8 +308,22 @@ func repairPlan(old *Plan, topo *network.Topology, ropts ReplanOptions, drainedS
 	ms := ci.NewMoveScratch()
 	cyc := ci.NewCycleScratch()
 	poll := newDeadlinePoller(ropts.Deadline, 16).withCancel(ropts.done())
+	// Under a traffic matrix, displaced MATs re-land by weighted place
+	// score (the same objective the polish descends), with the
+	// structural score as the tie-break; the quality-ratio gate in
+	// finishRepair still bounds the structural A_max.
+	var wt *WeightTable
+	var curSum int64
+	if ropts.Traffic != nil {
+		var werr error
+		if wt, werr = ci.CompileWeights(ropts.Traffic); werr != nil {
+			return nil, len(dirty), werr
+		}
+		curSum, _ = wt.Score(pt)
+	}
 	type cand struct {
 		u    network.SwitchID
+		w    int64
 		amax int
 	}
 	cands := make([]cand, 0, len(prog))
@@ -318,9 +338,17 @@ func repairPlan(old *Plan, topo *network.Topology, ropts ReplanOptions, drainedS
 		cands = cands[:0]
 		//hermes:hot
 		for _, u := range prog {
-			cands = append(cands, cand{u: u, amax: ci.PlaceScore(dense, pt, ms, x, int32(u))})
+			c := cand{u: u, amax: ci.PlaceScore(dense, pt, ms, x, int32(u))}
+			if wt != nil {
+				ws, wm := ci.PlaceScoreWeighted(dense, pt, ms, wt, x, int32(u), curSum)
+				c.w = ropts.TrafficObjective.pick(ws, wm)
+			}
+			cands = append(cands, c)
 		}
 		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].w != cands[j].w {
+				return cands[i].w < cands[j].w
+			}
 			if cands[i].amax != cands[j].amax {
 				return cands[i].amax < cands[j].amax
 			}
@@ -343,6 +371,9 @@ func repairPlan(old *Plan, topo *network.Topology, ropts ReplanOptions, drainedS
 			residents[c.u] = append(residents[c.u], name)
 			assign[name] = c.u
 			ci.ApplyPlace(dense, pt, x, int32(c.u))
+			if wt != nil {
+				curSum, _ = wt.Score(pt)
+			}
 			placed = true
 			break
 		}
@@ -452,6 +483,29 @@ func assignmentOf(p *Plan) map[string]network.SwitchID {
 		out[name] = sp.Switch
 	}
 	return out
+}
+
+// MovedNames lists the MATs that changed hosting switch between two
+// plans over the same TDG, sorted — Diff with identities.
+func MovedNames(a, b *Plan) ([]string, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("placement: diff of nil plan")
+	}
+	if !sameMATSet(a.Graph, b.Graph) {
+		return nil, fmt.Errorf("placement: diff across different TDGs")
+	}
+	var moved []string
+	for name := range a.Assignments {
+		sb, ok := b.Assignments[name]
+		if !ok {
+			return nil, fmt.Errorf("placement: plan B misses MAT %q", name)
+		}
+		if a.Assignments[name].Switch != sb.Switch {
+			moved = append(moved, name)
+		}
+	}
+	sort.Strings(moved)
+	return moved, nil
 }
 
 // Diff reports how many MATs changed hosting switch between two plans

@@ -57,6 +57,16 @@ type hostState struct {
 	matsOn  [][]int32 // host index → MAT indices hosted there
 	total   int       // total cross bytes matching (assignH, pt)
 	amax    int       // Eq. 1 matching pt
+
+	// Weighted-objective state (nil/zero under a structural solve):
+	// the host-compacted weight table, the objective selector, the
+	// weighted sum matching pt, the current objective value, and the
+	// structural ceiling AMaxSlack × the merged solves' A_max.
+	wt   *placement.WeightTable
+	wobj placement.TrafficObjective
+	wsum int64
+	wval int64
+	acap int
 }
 
 // proposal is one candidate migration: MAT x to host `to`.
@@ -75,6 +85,21 @@ func (s ShardedGreedy) exchange(g *tdg.Graph, topo *network.Topology, part *netw
 	hs, err := buildHostState(g, topo, part, assign, rm)
 	if err != nil {
 		return err
+	}
+	if opts.Traffic != nil {
+		// topoH is links-free, so the compacted weights must come from
+		// the global pair rates (routed on the real topology), not a
+		// re-route in host space.
+		rates, err := opts.Traffic.PairRates(topo)
+		if err != nil {
+			return err
+		}
+		hs.wt = placement.NewWeightTable(rates, int32(topo.NumSwitches())).Compact(hs.hosts)
+		hs.wobj = opts.TrafficObjective
+		sum, max := hs.wt.Score(hs.pt)
+		hs.wsum = sum
+		hs.wval = hs.wobj.Pick(sum, max)
+		hs.acap = placement.AMaxCap(opts, hs.amax)
 	}
 	st.Hosts = len(hs.hosts)
 	st.AMaxBefore = hs.amax
@@ -424,8 +449,22 @@ func (hs *hostState) applyProposals(g *tdg.Graph, topo *network.Topology, props 
 			continue
 		}
 		namax, ncross := hs.ci.MoveScore(hs.assignH, hs.pt, ms, pr.x, pr.to, hs.total)
-		if !(namax < hs.amax || (namax == hs.amax && ncross < hs.total)) {
-			continue
+		structBetter := namax < hs.amax || (namax == hs.amax && ncross < hs.total)
+		var wsum2, wval2 int64
+		if hs.wt == nil {
+			if !structBetter {
+				continue
+			}
+		} else {
+			// Weighted acceptance: strict descent on the lexicographic
+			// (W, A_max, cross) key, with the structural A_max capped at
+			// the exchange-start ceiling. The proposal classes stay
+			// structural — they are a candidate screen, not the gate.
+			ws, wm := hs.ci.MoveScoreWeighted(hs.assignH, hs.pt, ms, hs.wt, pr.x, pr.to, hs.wsum)
+			wsum2, wval2 = ws, hs.wobj.Pick(ws, wm)
+			if namax > hs.acap || wval2 > hs.wval || (wval2 == hs.wval && !structBetter) {
+				continue
+			}
 		}
 		// Capacity on the real target switch.
 		sw, err := topo.Switch(hs.hosts[pr.to])
@@ -447,6 +486,9 @@ func (hs *hostState) applyProposals(g *tdg.Graph, topo *network.Topology, props 
 		}
 		hs.total = total2
 		hs.amax = namax
+		if hs.wt != nil {
+			hs.wsum, hs.wval = wsum2, wval2
+		}
 		hs.moveHost(pr.x, cur, pr.to)
 		accepted++
 	}

@@ -161,7 +161,7 @@ func (s ShardedGreedy) SolveStats(g *tdg.Graph, topo *network.Topology, opts pla
 	}
 
 	regionStart := time.Now()
-	assign, rerr := s.solveRegions(g, part, chunks, opts)
+	assign, rerr := s.solveRegions(g, topo, part, chunks, opts)
 	if rerr != nil {
 		// A region that cannot host its chunk (capacity/packing edge
 		// cases) demotes the solve to whole-graph rather than failing a
@@ -293,17 +293,19 @@ func chunkTDG(g *tdg.Graph, part *network.Partition, rm program.ResourceModel) (
 // nested parallelism arises and the per-region plan is byte-identical
 // to a serial solve (the regression test asserts both). The returned
 // assignment maps every MAT to a global switch ID.
-func (s ShardedGreedy) solveRegions(g *tdg.Graph, part *network.Partition, chunks [][]string, opts placement.Options) (map[string]network.SwitchID, error) {
+func (s ShardedGreedy) solveRegions(g *tdg.Graph, topo *network.Topology, part *network.Partition, chunks [][]string, opts placement.Options) (map[string]network.SwitchID, error) {
 	k := part.NumRegions()
 	results := make([]map[string]network.SwitchID, k)
 	errs := make([]error, k)
 	inner := placement.Greedy{ImproveBudget: s.regionBudget(k)}
 	ropts := placement.Options{
-		Epsilon1:  opts.Epsilon1,
-		Deadline:  opts.Deadline,
-		Resources: opts.Resources,
-		Workers:   1, // no nested parallelism under the shard pool
-		Ctx:       opts.Ctx,
+		Epsilon1:         opts.Epsilon1,
+		Deadline:         opts.Deadline,
+		Resources:        opts.Resources,
+		Workers:          1, // no nested parallelism under the shard pool
+		Ctx:              opts.Ctx,
+		TrafficObjective: opts.TrafficObjective,
+		AMaxSlack:        opts.AMaxSlack,
 	}
 	parallelFor(k, workers(opts), func(_, r int) {
 		if len(chunks[r]) == 0 {
@@ -320,7 +322,20 @@ func (s ShardedGreedy) solveRegions(g *tdg.Graph, part *network.Partition, chunk
 			errs[r] = err
 			return
 		}
-		plan, err := inner.Solve(sub, topoR, ropts)
+		iopts := ropts
+		if opts.Traffic != nil {
+			// Each region solves under the global pair rates compacted
+			// onto its member ID space (Restrict drops only demand
+			// between non-members; the member-pair rates keep their
+			// global transit contributions).
+			tm, err := opts.Traffic.Restrict(topo, members)
+			if err != nil {
+				errs[r] = fmt.Errorf("shard: region %d traffic: %w", r, err)
+				return
+			}
+			iopts.Traffic = tm
+		}
+		plan, err := inner.Solve(sub, topoR, iopts)
 		if err != nil {
 			errs[r] = fmt.Errorf("shard: region %d: %w", r, err)
 			return

@@ -3,6 +3,7 @@ package placement
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"time"
 
@@ -55,6 +56,24 @@ type Options struct {
 	// reconciles the boundaries. Solvers without a sharded mode ignore
 	// it. Zero means whole-graph solving.
 	Shards int
+	// Traffic, when non-nil, switches the solvers to the traffic-
+	// weighted objective: minimize Σ w(u,v)·A(u,v) (or the weighted-max
+	// variant, per TrafficObjective) where w is the matrix's pair-rate
+	// projection, instead of the structural A_max of Eq. 1. The ε
+	// constraints are unchanged, and the structural A_max is still
+	// bounded at AMaxSlack × the solve's own structural optimum, so a
+	// weighted plan never trades unbounded worst-pair bytes for
+	// byte-rate. nil means the structural objective.
+	Traffic *network.TrafficMatrix
+	// TrafficObjective selects the weighted aggregate when Traffic is
+	// set; the zero value is TrafficWeightedSum.
+	TrafficObjective TrafficObjective
+	// AMaxSlack caps the structural A_max inflation a weighted solve
+	// may accept, as a ratio of the structural optimum the same solve
+	// reaches before weighted refinement. Zero means the default 1.2;
+	// values < 1 are treated as 1 (no inflation allowed). Ignored when
+	// Traffic is nil.
+	AMaxSlack float64
 	// Warm seeds the solve with an existing plan over the same TDG.
 	// Greedy reuses the warm assignment outright (skipping segmentation)
 	// and only polishes it; Exact adopts it as the initial
@@ -118,6 +137,22 @@ func (o Options) canceled() error {
 		return o.Ctx.Err()
 	}
 	return nil
+}
+
+// amaxSlack resolves the effective structural-inflation cap.
+func (o Options) amaxSlack() float64 {
+	if o.AMaxSlack == 0 {
+		return 1.2
+	}
+	if o.AMaxSlack < 1 {
+		return 1
+	}
+	return o.AMaxSlack
+}
+
+// amaxCap converts a structural baseline into the absolute cap.
+func (o Options) amaxCap(baseA int) int {
+	return int(math.Ceil(o.amaxSlack() * float64(baseA)))
 }
 
 // workers resolves the effective parallelism width.
