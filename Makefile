@@ -18,13 +18,16 @@
 # the traffic smoke gate proving weighted plans cut the hot-pair
 # coordination byte-rate >=2x at <=1.2x A_max inflation while the
 # batched replay engine stays >=10x faster than the per-packet
-# interpreter at zero allocations per packet.
+# interpreter at zero allocations per packet, and the region-replan
+# smoke gate proving churn heals through the region-local incremental
+# path >=10x faster than a sharded cold re-solve with bounded A_max
+# and matching equivalence verdicts.
 
 GO ?= go
 
-.PHONY: check lint vet fmt-check hermeslint build test race bench-smoke bench bench-json replan-smoke core-smoke chaos-smoke shard-smoke equiv-smoke traffic-smoke bench-core-json bench-compare bench-survive-json bench-survive-compare bench-shard-json bench-shard-compare bench-equiv-json bench-equiv-compare bench-traffic-json bench-traffic-compare profile
+.PHONY: check lint vet fmt-check hermeslint build test race bench-smoke bench bench-json replan-smoke core-smoke chaos-smoke shard-smoke equiv-smoke traffic-smoke regionreplan-smoke bench-core-json bench-compare bench-survive-json bench-survive-compare bench-shard-json bench-shard-compare bench-equiv-json bench-equiv-compare bench-traffic-json bench-traffic-compare bench-regionreplan-json bench-regionreplan-compare profile
 
-check: lint build race bench-smoke replan-smoke core-smoke chaos-smoke shard-smoke equiv-smoke traffic-smoke
+check: lint build race bench-smoke replan-smoke core-smoke chaos-smoke shard-smoke equiv-smoke traffic-smoke regionreplan-smoke
 
 # Static analysis gate: gofmt (no unformatted files), go vet, and the
 # repo-specific hermeslint pass (mutex/Clone conventions around the
@@ -166,6 +169,31 @@ bench-equiv-json:
 # allocation-free in the baseline now allocates.
 bench-equiv-compare:
 	$(GO) run ./cmd/hermes-bench -exp equiv -compare BENCH_equiv.json
+
+# Region-replan smoke gate (Exp#11, small sweep): every cell must heal
+# the busiest-switch drain through the region-local path without a
+# full-solve fallback, hold A_max within 1.2x of the sharded cold
+# re-solve (unless the pre-drain seed was already worse), agree with
+# the full equivalence checker, and the composite:30 headline must
+# heal >=10x faster than the cold re-solve. Both sides are measured
+# in-process, so the gate holds on any machine.
+regionreplan-smoke:
+	$(GO) run ./cmd/hermes-bench -exp regionreplan -smoke
+
+# Regenerate the committed region-replan baseline, including the
+# composite:60 point. Baseline mode repeats the sweep and records the
+# per-row noise envelope (slowest healing, lowest speedup) so the
+# compare gate is stable at the ~2ms scale of these cells.
+bench-regionreplan-json:
+	$(GO) run ./cmd/hermes-bench -exp regionreplan -full -json BENCH_regionreplan.json
+
+# Region-replan regression gate: a row fails only if its regional
+# healing time regressed >10% against the committed
+# BENCH_regionreplan.json AND its in-run speedup over the cold
+# re-solve degraded >25% (the dual condition filters machine-speed
+# skew and single-process GC jitter at millisecond scale).
+bench-regionreplan-compare:
+	$(GO) run ./cmd/hermes-bench -exp regionreplan -compare BENCH_regionreplan.json
 
 # Regenerate the committed traffic baseline (run on a quiet machine;
 # BENCH_traffic.json is what bench-traffic-compare diffs against).

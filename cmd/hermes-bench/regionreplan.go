@@ -1,0 +1,332 @@
+// The "regionreplan" experiment measures region-local incremental
+// replanning (Exp#11): the busiest-switch drain on seeded composite
+// WANs healed by the partition-aware regional repair versus a sharded
+// cold re-solve off the same pre-drain plan, producing the
+// BENCH_regionreplan.json perf baseline:
+//
+//	hermes-bench -exp regionreplan -full -json BENCH_regionreplan.json # baseline incl. composite:60
+//	hermes-bench -exp regionreplan -compare BENCH_regionreplan.json    # fail on healing-latency regression
+//	hermes-bench -exp regionreplan -smoke                              # machine-independent speedup/quality gate
+//
+// Both replans run off the same pre-drain sharded plan with the same
+// Options and partition, so the speedup column is a like-for-like
+// measurement of the regional delta path against the cold re-solve it
+// escalates to. The smoke gate pins the ISSUE 9 acceptance criteria:
+// zero full-solve fallbacks, A_max within the quality ratio, verdict
+// agreement between the incremental and full equivalence checkers, and
+// the >=10x headline speedup on composite:30.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/hermes-net/hermes/internal/experiments"
+)
+
+const (
+	// regionReplanHeadline is the sweep cell the >=10x speedup gate
+	// applies to (the ISSUE 9 acceptance topology).
+	regionReplanHeadline = "composite:30"
+	// regionReplanSmokeSpeedup is the machine-independent healing
+	// speedup the headline cell must reach: both sides are min-of-reps
+	// measurements from the same run on the same host.
+	regionReplanSmokeSpeedup = 10.0
+	// regionReplanCompareSlack bounds the raw regional_ms regression: a
+	// row fails -compare only when its healing time regressed more than
+	// 10% AND its in-run speedup also degraded (see below). The raw side
+	// alone is meaningless at the ~2ms scale of these cells, where a GC
+	// pause or a busy host reads as +40%.
+	regionReplanCompareSlack = 1.10
+	// regionReplanSpeedupSlack bounds the in-run speedup drift, the
+	// self-calibrating side of the dual condition: cold and regional are
+	// measured in the same process, so uniform machine slowdowns cancel.
+	// It is wider than the raw slack because GC noise does NOT cancel
+	// perfectly — the cold re-solve allocates far more than the regional
+	// path, so the ratio still jitters ~15% run to run. A genuine
+	// algorithmic regression (regional path slowing while cold holds)
+	// moves the ratio well past 25%.
+	regionReplanSpeedupSlack = 1.25
+	// regionReplanBaselineRuns: -json baseline mode repeats the sweep
+	// this many times and records the noise ENVELOPE per row — slowest
+	// regional ms, lowest speedup. A single run's min-of-reps is an
+	// extreme-value sample; pinning it as the baseline makes -compare a
+	// coin flip at the ~2ms scale of these cells. Against the envelope,
+	// ordinary jitter passes and only a real slowdown trips both sides
+	// of the dual condition.
+	regionReplanBaselineRuns = 3
+)
+
+// regionReplanRowJSON is one Exp#11 row in the machine-readable
+// baseline.
+type regionReplanRowJSON struct {
+	Topology      string  `json:"topology"`
+	Switches      int     `json:"switches"`
+	Programmable  int     `json:"programmable"`
+	Programs      int     `json:"programs"`
+	MATs          int     `json:"mats"`
+	Shards        int     `json:"shards"`
+	Drained       int     `json:"drained_switch"`
+	DisplacedMATs int     `json:"displaced_mats"`
+	ColdMs        float64 `json:"cold_ms"`
+	RegionalMs    float64 `json:"regional_ms"`
+	Speedup       float64 `json:"speedup"`
+	SeedAMax      int     `json:"seed_amax_bytes"`
+	ColdAMax      int     `json:"cold_amax_bytes"`
+	RegionalAMax  int     `json:"regional_amax_bytes"`
+	AMaxRatio     float64 `json:"amax_ratio"`
+	RegionsTouch  int     `json:"regions_touched"`
+	RegionsWiden  int     `json:"regions_widened"`
+	ExchangeRnds  int     `json:"exchange_rounds"`
+	ExchangeMoves int     `json:"exchange_moves"`
+	MovedCold     int     `json:"moved_cold"`
+	MovedRegional int     `json:"moved_regional"`
+	FellBack      bool    `json:"fell_back"`
+	DirtyMs       float64 `json:"dirty_ms"`
+	RegionsMs     float64 `json:"regions_ms"`
+	ExchangeMs    float64 `json:"exchange_ms"`
+	GatesMs       float64 `json:"gates_ms"`
+	EquivAgree    bool    `json:"equiv_agree"`
+	EquivMs       float64 `json:"equiv_ms"`
+}
+
+// regionReplanBaselineJSON is the BENCH_regionreplan.json document.
+type regionReplanBaselineJSON struct {
+	Experiment string                `json:"experiment"`
+	Seed       int64                 `json:"seed"`
+	Workers    int                   `json:"workers"`
+	Full       bool                  `json:"full"`
+	Rows       []regionReplanRowJSON `json:"rows"`
+}
+
+func regionReplanRow(p experiments.RegionReplanPoint) regionReplanRowJSON {
+	return regionReplanRowJSON{
+		Topology: p.Topology, Switches: p.Switches, Programmable: p.Programmable,
+		Programs: p.Programs, MATs: p.MATs, Shards: p.Shards,
+		Drained: int(p.Drained), DisplacedMATs: p.DisplacedMATs,
+		ColdMs: round3(p.ColdMs), RegionalMs: round3(p.RegionalMs), Speedup: round3(p.Speedup),
+		SeedAMax: p.SeedAMax, ColdAMax: p.ColdAMax, RegionalAMax: p.RegionalAMax,
+		AMaxRatio:    round3(p.AMaxRatio),
+		RegionsTouch: p.RegionsTouched, RegionsWiden: p.RegionsWidened,
+		ExchangeRnds: p.ExchangeRounds, ExchangeMoves: p.ExchangeMoves,
+		MovedCold: p.MovedCold, MovedRegional: p.MovedRegional, FellBack: p.FellBack,
+		DirtyMs: round3(p.DirtyMs), RegionsMs: round3(p.RegionsMs),
+		ExchangeMs: round3(p.ExchangeMs), GatesMs: round3(p.GatesMs),
+		EquivAgree: p.EquivAgree, EquivMs: round3(p.EquivMs),
+	}
+}
+
+// regionReplan runs the churn-at-scale sweep, prints the table, and
+// applies whichever gate the flags selected.
+func (r *runner) regionReplan() error {
+	mode := "baseline"
+	if r.smoke {
+		mode = "smoke"
+	} else if r.comparePath != "" {
+		mode = "compare"
+	}
+	full := r.full && !r.smoke
+	fmt.Printf("## Exp#11: region-local replan vs sharded cold re-solve under churn (%s)\n", mode)
+
+	pts, err := experiments.Exp11(r.cfg, full)
+	if err != nil {
+		return err
+	}
+	doc := regionReplanBaselineJSON{Experiment: "regionreplan", Seed: r.cfg.Seed, Workers: r.cfg.Workers, Full: full}
+	for _, p := range pts {
+		doc.Rows = append(doc.Rows, regionReplanRow(p))
+	}
+
+	fmt.Printf("  %-14s %8s %6s %7s %7s %9s %10s %10s %8s %7s %7s %6s %6s\n",
+		"topology", "switches", "progs", "MATs", "shards", "displaced", "cold", "regional", "speedup", "A_max", "regions", "widen", "moves")
+	csvRows := [][]string{{"topology", "switches", "programmable", "programs", "mats", "shards",
+		"drained_switch", "displaced_mats", "cold_ms", "regional_ms", "speedup",
+		"seed_amax_bytes", "cold_amax_bytes", "regional_amax_bytes", "amax_ratio",
+		"regions_touched", "regions_widened", "exchange_rounds", "exchange_moves",
+		"moved_cold", "moved_regional", "fell_back",
+		"dirty_ms", "regions_ms", "exchange_ms", "gates_ms", "equiv_agree", "equiv_ms"}}
+	for _, row := range doc.Rows {
+		fmt.Printf("  %-14s %8d %6d %7d %7d %9d %10s %10s %8s %7s %7d %6d %6d\n",
+			row.Topology, row.Switches, row.Programs, row.MATs, row.Shards, row.DisplacedMATs,
+			fmt.Sprintf("%.1fms", row.ColdMs), fmt.Sprintf("%.2fms", row.RegionalMs),
+			fmt.Sprintf("%.1fx", row.Speedup), fmt.Sprintf("%.3f", row.AMaxRatio),
+			row.RegionsTouch, row.RegionsWiden, row.MovedRegional)
+		csvRows = append(csvRows, []string{
+			row.Topology, strconv.Itoa(row.Switches), strconv.Itoa(row.Programmable),
+			strconv.Itoa(row.Programs), strconv.Itoa(row.MATs), strconv.Itoa(row.Shards),
+			strconv.Itoa(row.Drained), strconv.Itoa(row.DisplacedMATs),
+			fmt.Sprintf("%.3f", row.ColdMs), fmt.Sprintf("%.3f", row.RegionalMs), fmt.Sprintf("%.3f", row.Speedup),
+			strconv.Itoa(row.SeedAMax), strconv.Itoa(row.ColdAMax), strconv.Itoa(row.RegionalAMax),
+			fmt.Sprintf("%.3f", row.AMaxRatio),
+			strconv.Itoa(row.RegionsTouch), strconv.Itoa(row.RegionsWiden),
+			strconv.Itoa(row.ExchangeRnds), strconv.Itoa(row.ExchangeMoves),
+			strconv.Itoa(row.MovedCold), strconv.Itoa(row.MovedRegional), strconv.FormatBool(row.FellBack),
+			fmt.Sprintf("%.3f", row.DirtyMs), fmt.Sprintf("%.3f", row.RegionsMs),
+			fmt.Sprintf("%.3f", row.ExchangeMs), fmt.Sprintf("%.3f", row.GatesMs),
+			strconv.FormatBool(row.EquivAgree), fmt.Sprintf("%.3f", row.EquivMs),
+		})
+	}
+	fmt.Println()
+
+	if r.smoke {
+		return regionReplanSmokeGate(doc.Rows)
+	}
+	if r.comparePath != "" {
+		return regionReplanCompareGate(r.comparePath, doc)
+	}
+	if r.jsonPath != "" {
+		// Widen each row to its noise envelope across repeat sweeps so
+		// the committed baseline is conservative (see
+		// regionReplanBaselineRuns).
+		for run := 1; run < regionReplanBaselineRuns; run++ {
+			more, err := experiments.Exp11(r.cfg, full)
+			if err != nil {
+				return err
+			}
+			for i, p := range more {
+				if i >= len(doc.Rows) || doc.Rows[i].Topology != p.Topology {
+					return fmt.Errorf("regionreplan: sweep shape changed between baseline runs")
+				}
+				if p.RegionalMs > doc.Rows[i].RegionalMs {
+					doc.Rows[i].RegionalMs = round3(p.RegionalMs)
+				}
+				if p.ColdMs > doc.Rows[i].ColdMs {
+					doc.Rows[i].ColdMs = round3(p.ColdMs)
+				}
+				if p.Speedup < doc.Rows[i].Speedup {
+					doc.Rows[i].Speedup = round3(p.Speedup)
+				}
+			}
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(r.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing regionreplan baseline: %w", err)
+		}
+		fmt.Printf("  regionreplan baseline written to %s (envelope of %d runs)\n\n", r.jsonPath, regionReplanBaselineRuns)
+	}
+	return r.writeCSV("regionreplan.csv", csvRows)
+}
+
+// regionReplanSmokeGate enforces the in-run acceptance criteria of the
+// regional replan (the ISSUE 9 sweep): every cell heals through the
+// regional path without a full-solve fallback, holds the quality ratio
+// against the cold re-solve (unless the pre-drain seed was already
+// worse — an incremental repair cannot out-solve its warm seed), agrees
+// with the full equivalence checker, and the composite:30 headline
+// heals at least regionReplanSmokeSpeedup times faster than the cold
+// re-solve. All comparisons are between measurements from the same run
+// on the same host.
+func regionReplanSmokeGate(rows []regionReplanRowJSON) error {
+	var failures []string
+	var headline *regionReplanRowJSON
+	for i := range rows {
+		row := &rows[i]
+		if row.FellBack {
+			failures = append(failures, fmt.Sprintf(
+				"%s: regional replan fell back to a full solve", row.Topology))
+		}
+		if row.RegionsTouch == 0 {
+			failures = append(failures, fmt.Sprintf("%s: no regions touched", row.Topology))
+		}
+		if row.DisplacedMATs == 0 || row.MovedRegional == 0 {
+			failures = append(failures, fmt.Sprintf(
+				"%s: drain displaced %d MATs, regional moved %d — no churn exercised",
+				row.Topology, row.DisplacedMATs, row.MovedRegional))
+		}
+		if row.AMaxRatio > experiments.RegionReplanQualityRatio && row.RegionalAMax > row.SeedAMax {
+			failures = append(failures, fmt.Sprintf(
+				"%s: regional A_max %dB is %.3fx the %dB cold re-solve (seed %dB)",
+				row.Topology, row.RegionalAMax, row.AMaxRatio, row.ColdAMax, row.SeedAMax))
+		}
+		if !row.EquivAgree {
+			failures = append(failures, fmt.Sprintf(
+				"%s: incremental and full equivalence verdicts diverge", row.Topology))
+		}
+		if row.Topology == regionReplanHeadline {
+			headline = row
+		}
+	}
+	if headline == nil {
+		failures = append(failures, fmt.Sprintf("sweep missing the %s headline cell", regionReplanHeadline))
+	} else if headline.Speedup < regionReplanSmokeSpeedup {
+		failures = append(failures, fmt.Sprintf(
+			"%s: regional replan speedup %.1fx below the %.0fx gate (cold %.2fms, regional %.2fms)",
+			headline.Topology, headline.Speedup, regionReplanSmokeSpeedup, headline.ColdMs, headline.RegionalMs))
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Println("  FAIL:", f)
+		}
+		return fmt.Errorf("regionreplan smoke gate failed (%d check(s))", len(failures))
+	}
+	fmt.Printf("  regionreplan smoke gate passed: zero fallbacks, A_max within %.1fx, %s healed %.1fx faster than the cold re-solve\n",
+		experiments.RegionReplanQualityRatio, regionReplanHeadline, headline.Speedup)
+	return nil
+}
+
+// regionReplanCompareGate diffs the fresh sweep against the committed
+// baseline. A row fails only on the dual condition — raw regional_ms
+// regression beyond regionReplanCompareSlack AND in-run speedup
+// degradation beyond regionReplanSpeedupSlack — so neither uniform
+// machine slowdowns nor single-process GC jitter read as code
+// regressions, while a real slowdown of the regional path trips both.
+func regionReplanCompareGate(path string, cur regionReplanBaselineJSON) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading regionreplan baseline: %w", err)
+	}
+	var base regionReplanBaselineJSON
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing regionreplan baseline %s: %w", path, err)
+	}
+	baseline := make(map[string]regionReplanRowJSON, len(base.Rows))
+	for _, row := range base.Rows {
+		baseline[row.Topology] = row
+	}
+	var failures []string
+	fmt.Printf("  %-14s %16s %14s %8s %14s\n", "topology", "baseline ms", "current ms", "delta", "speedup drift")
+	for _, row := range cur.Rows {
+		b, ok := baseline[row.Topology]
+		if !ok {
+			fmt.Printf("  %-14s %16s %14.2f %8s %14s  (not in baseline)\n", row.Topology, "-", row.RegionalMs, "-", "-")
+			continue
+		}
+		if row.FellBack {
+			failures = append(failures, fmt.Sprintf("%s: regional replan fell back to a full solve", row.Topology))
+			continue
+		}
+		delta := 0.0
+		if b.RegionalMs > 0 {
+			delta = row.RegionalMs/b.RegionalMs - 1
+		}
+		drift := 0.0
+		if b.Speedup > 0 {
+			drift = row.Speedup/b.Speedup - 1
+		}
+		fmt.Printf("  %-14s %16.2f %14.2f %+7.1f%% %+13.1f%%\n",
+			row.Topology, b.RegionalMs, row.RegionalMs, delta*100, drift*100)
+		rawRegressed := b.RegionalMs > 0 && row.RegionalMs > b.RegionalMs*regionReplanCompareSlack
+		speedupRegressed := b.Speedup > 0 && row.Speedup < b.Speedup/regionReplanSpeedupSlack
+		if rawRegressed && speedupRegressed {
+			failures = append(failures, fmt.Sprintf(
+				"%s: regional healing regressed %.1f%% in ms and %.1f%% in speedup over the cold re-solve (baseline %.2fms at %.1fx, now %.2fms at %.1fx)",
+				row.Topology, delta*100, -drift*100, b.RegionalMs, b.Speedup, row.RegionalMs, row.Speedup))
+		}
+	}
+	fmt.Println()
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Println("  FAIL:", f)
+		}
+		return fmt.Errorf("regionreplan compare gate failed (%d regression(s) beyond %.0f%%)",
+			len(failures), (regionReplanCompareSlack-1)*100)
+	}
+	fmt.Printf("  regionreplan compare gate passed: no regional healing regressed beyond %.0f%% of %s\n",
+		(regionReplanCompareSlack-1)*100, path)
+	return nil
+}

@@ -129,7 +129,10 @@ func run(args []string) error {
 		*workloadFlag, len(progs), topo.Name, topo.NumSwitches(), len(topo.ProgrammableSwitches()))
 
 	if *supervise {
-		popts := placement.Options{Epsilon1: *eps1, Epsilon2: *eps2, Workers: *workers}
+		// Shards flows into the supervisor's replan options, so it
+		// auto-partitions the monitored topology and heals churn through
+		// the region-local path.
+		popts := placement.Options{Epsilon1: *eps1, Epsilon2: *eps2, Workers: *workers, Shards: *shards}
 		if *deadline > 0 {
 			popts.Deadline = time.Now().Add(*deadline)
 		}
@@ -210,8 +213,19 @@ func run(args []string) error {
 		}
 		if len(drained) > 0 {
 			ropts := hermes.ReplanOptions{
-				Options: placement.Options{Epsilon1: *eps1, Epsilon2: *eps2, Workers: *workers},
+				Options: placement.Options{Epsilon1: *eps1, Epsilon2: *eps2, Workers: *workers, Shards: *shards},
 				Mode:    replanMode,
+			}
+			// Under -shards, the replan reuses the solve-time region
+			// structure: the dirty set maps onto the drained regions and
+			// only those are repaired (DESIGN.md §14).
+			if *shards > 1 {
+				part, perr := hermes.PartitionTopology(topo, *shards, 1)
+				if perr != nil {
+					fmt.Printf("         replan partition failed (%v); using whole-topology repair\n", perr)
+				} else {
+					ropts.Partition = part
+				}
 			}
 			newPlan, rep, err := hermes.ReplanWithOptions(res.Plan, solver, ropts, drained...)
 			if err != nil {
@@ -219,7 +233,16 @@ func run(args []string) error {
 				continue
 			}
 			path := "full solve"
-			if rep.UsedRepair {
+			if rep.UsedRegional {
+				path = fmt.Sprintf("regional repair (%d dirty MATs, regions %v", rep.DirtyMATs, rep.RegionsTouched)
+				if rep.RegionsWidened > 0 {
+					path += fmt.Sprintf(", %d widened", rep.RegionsWidened)
+				}
+				if rep.ExchangeMoves > 0 {
+					path += fmt.Sprintf(", exchange moved %d in %d rounds", rep.ExchangeMoves, rep.ExchangeRounds)
+				}
+				path += ")"
+			} else if rep.UsedRepair {
 				path = fmt.Sprintf("delta repair (%d dirty MATs)", rep.DirtyMATs)
 			} else if rep.FallbackReason != "" {
 				path = "fallback to full solve: " + rep.FallbackReason

@@ -128,7 +128,10 @@ func describePoll(res *hermes.SupervisorPollResult) []string {
 	}
 	if res.Replanned {
 		path := "full solve"
-		if res.UsedRepair {
+		if res.UsedRegional {
+			path = fmt.Sprintf("regional repair (%d dirty MATs, regions %v)",
+				len(res.DirtyMATs), res.RegionsTouched)
+		} else if res.UsedRepair {
 			path = fmt.Sprintf("delta repair (%d dirty MATs)", len(res.DirtyMATs))
 		}
 		acts = append(acts, fmt.Sprintf("replanned via %s in %v",

@@ -221,12 +221,34 @@ type ShardedSolver = shard.ShardedGreedy
 // exchange rounds, accepted migrations, A_max before/after).
 type ShardStats = shard.Stats
 
+// TopologyPartition is a disjoint cover of a topology's switches by
+// connected regions: the sharded solver's decomposition and the
+// regional replan's locality structure (DESIGN.md §14).
+type TopologyPartition = network.Partition
+
+// PartitionOptions configures PartitionTopologyWith (region count,
+// seed, balance tolerance, refinement and min-cut swap passes).
+type PartitionOptions = network.PartitionOptions
+
 // PartitionTopology partitions a topology into k capacity-balanced
 // connected regions, deterministic in seed — the sharded solver's
 // first phase, exposed for offline partition inspection (see
 // topogen -partition).
-func PartitionTopology(t *Topology, k int, seed int64) (*network.Partition, error) {
+func PartitionTopology(t *Topology, k int, seed int64) (*TopologyPartition, error) {
 	return network.PartitionRegions(t, k, seed)
+}
+
+// PartitionTopologyWith is PartitionTopology with the full option set,
+// including the Kernighan–Lin-style min-cut boundary-swap refinement
+// (PartitionOptions.MinCutPasses; see topogen -partition -refine).
+func PartitionTopologyWith(t *Topology, opts PartitionOptions) (*TopologyPartition, error) {
+	return network.PartitionTopology(t, opts)
+}
+
+// ParsePartition reads a partition's Format text form back, validated
+// against t — the `-partition @file` path.
+func ParsePartition(text string, t *Topology) (*TopologyPartition, error) {
+	return network.ParsePartition(text, t)
 }
 
 // CompositeWANTopology builds a large WAN stitched from Table III-sized
@@ -278,6 +300,17 @@ type DeployOptions struct {
 	// through SolveOptions.Shards and honor it if they have a sharded
 	// mode. Zero means whole-graph solving.
 	Shards int
+	// Overlap sets how many region cuts a sharded boundary-exchange
+	// migration may cross per round (DESIGN.md §14): ≤1 keeps the
+	// classic pair-local exchange; 2 admits the 2-hop overlapping
+	// region neighborhoods. Ignored unless sharded placement runs.
+	Overlap int
+	// Partition, when non-nil, hands sharded placement a precomputed
+	// region partition (over this topology, with Shards regions)
+	// instead of re-partitioning — operators that replan against a
+	// standing partition keep solve-time and replan-time regions
+	// aligned.
+	Partition *TopologyPartition
 	// Traffic switches the solvers to the traffic-weighted objective
 	// min Σ w(u,v)·A(u,v) (DESIGN.md §13): coordination bytes are scored
 	// by the packet rate that actually carries them. Nil keeps the
@@ -330,7 +363,7 @@ func Deploy(progs []*Program, topo *Topology, opts DeployOptions) (*Result, erro
 	solver := opts.Solver
 	if solver == nil {
 		if opts.Shards > 1 {
-			solver = shard.ShardedGreedy{}
+			solver = shard.ShardedGreedy{Overlap: opts.Overlap, Partition: opts.Partition}
 		} else {
 			solver = GreedySolver
 		}

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceDetectorEnabled reports whether the test binary was built with
+// the race detector, whose per-access instrumentation compresses the
+// regional-vs-cold speedup (both sides slow, but not uniformly).
+const raceDetectorEnabled = true

@@ -559,17 +559,33 @@ func (t *Topology) NearestProgrammable(src SwitchID, limit int, maxLatency time.
 	return out, nil
 }
 
-// Clone returns an independent copy of the topology.
+// Clone returns an independent copy of the topology. Everything was
+// validated when t was built, so the copy is a straight bulk copy of
+// the switch, link, and adjacency storage — no per-element re-insertion
+// (the replan path clones the live topology on every churn event, so
+// this runs in microseconds on thousand-switch graphs, not
+// milliseconds). The copy starts with a cold path cache.
 func (t *Topology) Clone() *Topology {
 	c := NewTopology(t.Name)
-	for _, s := range t.switches {
-		c.AddSwitch(*s)
+	backing := make([]Switch, len(t.switches))
+	c.switches = make([]*Switch, len(t.switches))
+	for i, s := range t.switches {
+		backing[i] = *s
+		c.switches[i] = &backing[i]
 	}
-	for _, l := range t.links {
-		// Links were validated on insertion; re-adding cannot fail.
-		if err := c.AddLink(l.A, l.B, l.Latency); err != nil {
-			panic("network: clone re-add failed: " + err.Error())
-		}
+	c.links = append([]Link(nil), t.links...)
+	total := 0
+	for _, a := range t.adj {
+		total += len(a)
+	}
+	flat := make([]adjEntry, 0, total)
+	c.adj = make([][]adjEntry, len(t.adj))
+	for i, a := range t.adj {
+		n := len(flat)
+		flat = append(flat, a...)
+		// Full-capacity slice: a later AddLink on the clone reallocates
+		// instead of clobbering its neighbors' rows.
+		c.adj[i] = flat[n:len(flat):len(flat)]
 	}
 	c.copyFaultState(t)
 	return c

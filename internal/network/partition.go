@@ -50,6 +50,16 @@ type PartitionOptions struct {
 	// RefinePasses bounds the boundary-refinement sweeps. Zero means
 	// the default 2; negative disables refinement.
 	RefinePasses int
+	// MinCutPasses bounds the Kernighan–Lin-style boundary-swap sweeps
+	// that run after the single-move refinement: a pair of switches on
+	// opposite sides of a cut swap regions when that strictly reduces
+	// the number of cut links while both regions stay connected and
+	// within the balance tolerance. Swaps move capacity both ways at
+	// once, so they escape the balance-blocked minima single moves
+	// cannot (skewed topologies otherwise leave hot TDG edges on the
+	// boundary). Zero disables the pass (the default — existing
+	// partitions stay byte-identical); negative also disables.
+	MinCutPasses int
 }
 
 func (o PartitionOptions) tolerance() float64 {
@@ -111,6 +121,9 @@ func PartitionTopology(t *Topology, opts PartitionOptions) (*Partition, error) {
 		seeds := partitionSeeds(t, k, opts.Seed)
 		growRegions(t, seeds, regionOf)
 		refineRegions(t, regionOf, k, opts.tolerance(), opts.refinePasses())
+		if opts.MinCutPasses > 0 {
+			swapRefineRegions(t, regionOf, k, opts.tolerance(), opts.MinCutPasses)
+		}
 	}
 	p := &Partition{topo: t, seed: opts.Seed, regionOf: regionOf, regions: make([][]SwitchID, k)}
 	for id, r := range regionOf {
@@ -361,6 +374,84 @@ func refineRegions(t *Topology, regionOf []int32, k int, tol float64, passes int
 	}
 }
 
+// swapRefineRegions runs bounded Kernighan–Lin-style swap sweeps over
+// the boundary links (link-insertion order, so the pass is
+// deterministic in (t, regionOf)): for a cut link (a, b) the two
+// endpoint switches trade regions when the classic KL gain
+//
+//	gain = D(a) + D(b) − 2·c(a, b)
+//
+// is strictly positive, where D(x) counts x's links into the opposite
+// region minus links into its own and c(a, b) counts the parallel
+// links between the pair. Unlike the single-move refinement a swap is
+// capacity-symmetric up to the difference of the two switches, so it
+// can reduce the cut where every individual move is balance-blocked.
+// Both regions must stay connected and inside [mean·(1−tol),
+// mean·(1+tol)] after the swap.
+func swapRefineRegions(t *Topology, regionOf []int32, k int, tol float64, passes int) {
+	n := t.NumSwitches()
+	caps := make([]float64, k)
+	total := 0.0
+	for id := 0; id < n; id++ {
+		c := t.switches[id].Capacity()
+		caps[regionOf[id]] += c
+		total += c
+	}
+	mean := total / float64(k)
+	lo, hi := mean*(1-tol), mean*(1+tol)
+	for pass := 0; pass < passes; pass++ {
+		swapped := false
+		for _, l := range t.links {
+			a, b := l.A, l.B
+			ra, rb := regionOf[a], regionOf[b]
+			if ra == rb {
+				continue
+			}
+			da := 0
+			for _, e := range t.adj[a] {
+				switch regionOf[e.to] {
+				case rb:
+					da++
+				case ra:
+					da--
+				}
+			}
+			db, cab := 0, 0
+			for _, e := range t.adj[b] {
+				if e.to == a {
+					cab++
+				}
+				switch regionOf[e.to] {
+				case ra:
+					db++
+				case rb:
+					db--
+				}
+			}
+			if da+db-2*cab <= 0 {
+				continue
+			}
+			ca, cb := t.switches[a].Capacity(), t.switches[b].Capacity()
+			na, nb := caps[ra]-ca+cb, caps[rb]-cb+ca
+			if (ca != cb) && (na < lo || na > hi || nb < lo || nb > hi) {
+				continue
+			}
+			// Tentatively apply, verify both regions stay connected.
+			regionOf[a], regionOf[b] = rb, ra
+			if !regionConnectedWithout(t, regionOf, ra, SwitchID(-1)) ||
+				!regionConnectedWithout(t, regionOf, rb, SwitchID(-1)) {
+				regionOf[a], regionOf[b] = ra, rb
+				continue
+			}
+			caps[ra], caps[rb] = na, nb
+			swapped = true
+		}
+		if !swapped {
+			break
+		}
+	}
+}
+
 // regionConnectedWithout reports whether region r stays one connected
 // component after removing the switch ex.
 func regionConnectedWithout(t *Topology, regionOf []int32, r int32, ex SwitchID) bool {
@@ -561,6 +652,7 @@ func ParsePartition(text string, t *Topology) (*Partition, error) {
 		p.regionOf[i] = -1
 	}
 	declared := -1
+	sawTopology := false
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -568,14 +660,21 @@ func ParsePartition(text string, t *Topology) (*Partition, error) {
 		}
 		switch {
 		case strings.HasPrefix(line, "topology "):
+			if sawTopology {
+				return nil, fmt.Errorf("network: duplicate topology line %q", line)
+			}
+			sawTopology = true
 			name := strings.TrimSpace(strings.TrimPrefix(line, "topology "))
 			if name != t.Name {
 				return nil, fmt.Errorf("network: partition is for topology %q, not %q", name, t.Name)
 			}
 		case strings.HasPrefix(line, "regions "):
+			if declared >= 0 {
+				return nil, fmt.Errorf("network: duplicate regions line %q", line)
+			}
 			v, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "regions ")))
-			if err != nil {
-				return nil, fmt.Errorf("network: bad regions line %q: %v", line, err)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("network: bad regions line %q", line)
 			}
 			declared = v
 		case strings.HasPrefix(line, "seed "):
@@ -618,6 +717,9 @@ func ParsePartition(text string, t *Topology) (*Partition, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	if !sawTopology {
+		return nil, fmt.Errorf("network: partition text missing topology line")
 	}
 	if declared >= 0 && declared != len(p.regions) {
 		return nil, fmt.Errorf("network: header declares %d regions, found %d", declared, len(p.regions))

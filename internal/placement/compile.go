@@ -13,6 +13,7 @@
 package placement
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -195,6 +196,90 @@ func compile(g *tdg.Graph, topo *network.Topology, rm program.ResourceModel) *Co
 		}
 	}
 	return ci
+}
+
+// compileSubset is compile restricted to a subset of g's MATs, against
+// a (typically compacted) topology. The region-local replan builds one
+// instance per dirty region this way: materializing a tdg.Subgraph just
+// to compile it costs more than the whole region repair (fresh
+// string-keyed node/edge maps plus an uncached topological sort), while
+// the dense arrays can be carved straight out of g. names must be
+// sorted and duplicate-free; edges are kept when both endpoints are in
+// the subset, in g's EdgeList order, so the kernels' iteration order is
+// deterministic. The instance is not memoized (the subset is
+// call-specific) and its Graph field keeps pointing at g — callers that
+// need full-graph facts (canonical pack order, TopoIndex) already hold
+// g.
+func compileSubset(g *tdg.Graph, names []string, topo *network.Topology, rm program.ResourceModel) (*CompiledInstance, error) {
+	idx := make(map[string]int32, len(names))
+	for i, n := range names {
+		idx[n] = int32(i)
+	}
+	s := topo.NumSwitches()
+	ci := &CompiledInstance{
+		Graph: g,
+		Topo:  topo,
+		Names: names,
+		Index: idx,
+		S:     int32(s),
+		rm:    rm,
+		links: topo.NumLinks(),
+		epoch: topo.FaultEpoch(),
+	}
+
+	ci.Req = make([]float64, len(names))
+	ci.Out = make([][]int32, len(names))
+	ci.In = make([][]int32, len(names))
+	ci.Incident = make([][]int32, len(names))
+	for i, name := range names {
+		node, ok := g.Node(name)
+		if !ok {
+			return nil, fmt.Errorf("placement: compile subset references unknown MAT %q", name)
+		}
+		ci.Req[i] = rm.Requirement(node.MAT)
+	}
+
+	// One pass over g's edge list fills every edge array. Out/In here
+	// follow EdgeList order rather than compile's peer-name order: the
+	// kernels only fold commutative sums over them (ms.add/pt.Add), so
+	// any fixed order yields identical scores, and skipping the
+	// per-name tdg.OutEdges/InEdges walks (each sorts and copies) keeps
+	// the per-region compile out of the replan's critical path.
+	for _, e := range g.EdgeList() {
+		f, fok := idx[e.From]
+		t, tok := idx[e.To]
+		if !fok || !tok {
+			continue
+		}
+		ei := int32(len(ci.EdgeFrom))
+		ci.EdgeFrom = append(ci.EdgeFrom, f)
+		ci.EdgeTo = append(ci.EdgeTo, t)
+		ci.EdgeBytes = append(ci.EdgeBytes, int32(e.MetadataBytes))
+		ci.Incident[f] = append(ci.Incident[f], ei)
+		ci.Incident[t] = append(ci.Incident[t], ei)
+		ci.Out[f] = append(ci.Out[f], ei)
+		ci.In[t] = append(ci.In[t], ei)
+	}
+
+	ci.Programmable = make([]bool, s)
+	ci.Stages = make([]int32, s)
+	ci.StageCap = make([]float64, s)
+	ci.Caps = make([]float64, s)
+	for id := 0; id < s; id++ {
+		sw, err := topo.Switch(network.SwitchID(id))
+		if err != nil {
+			continue
+		}
+		up := sw.Programmable && !topo.SwitchIsDown(sw.ID)
+		ci.Programmable[id] = up
+		ci.Stages[id] = int32(sw.Stages)
+		ci.StageCap[id] = sw.StageCapacity
+		ci.Caps[id] = sw.Capacity()
+		if up {
+			ci.Prog = append(ci.Prog, sw.ID)
+		}
+	}
+	return ci, nil
 }
 
 // latencies returns the dense shortest-path latency table (entry

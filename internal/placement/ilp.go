@@ -323,6 +323,21 @@ func (s ILP) Solve(g *tdg.Graph, topo *network.Topology, opts Options) (*Plan, e
 // materializeAssignment packs a switch-level assignment into stages and
 // adds routes.
 func materializeAssignment(g *tdg.Graph, topo *network.Topology, assign map[string]network.SwitchID, rm program.ResourceModel) (*Plan, error) {
+	plan, err := packAssignment(g, topo, assign, rm)
+	if err != nil {
+		return nil, err
+	}
+	if err := addRoutesForCrossPairs(plan); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// packAssignment is materializeAssignment minus the routes: per-switch
+// stage packing of a complete MAT→switch assignment. The regional
+// replan splits the two so it can reuse the pre-drain plan's routes
+// instead of re-running shortest paths for every surviving pair.
+func packAssignment(g *tdg.Graph, topo *network.Topology, assign map[string]network.SwitchID, rm program.ResourceModel) (*Plan, error) {
 	plan := &Plan{
 		Graph:       g,
 		Topo:        topo,
@@ -344,9 +359,6 @@ func materializeAssignment(g *tdg.Graph, topo *network.Topology, assign map[stri
 		for name, sp := range placed {
 			plan.Assignments[name] = sp
 		}
-	}
-	if err := addRoutesForCrossPairs(plan); err != nil {
-		return nil, err
 	}
 	return plan, nil
 }

@@ -81,6 +81,16 @@ type ReplanOptions struct {
 	// ReplanAuto and an error under ReplanIncremental. 0 means the
 	// default of 1.5; negative disables the check.
 	QualityRatio float64
+	// Partition, when non-nil, switches the repair to the region-local
+	// path (DESIGN.md §14): the dirty set is mapped onto the regions it
+	// intersects, each dirty region is repaired concurrently on a
+	// compact per-region compiled instance (hosts + region candidates,
+	// never the full S² tables), and only quality failures escalate to
+	// the overlapping-region boundary exchange before the gated full
+	// solve. The partition must describe the replan topology's switch
+	// ID space; lookups are by switch ID, so it survives topology
+	// clones and fault overlays. nil keeps the whole-topology repair.
+	Partition *network.Partition
 }
 
 func (o ReplanOptions) frontierDepth() int {
@@ -98,6 +108,38 @@ func (o ReplanOptions) qualityRatio() float64 {
 		return 1.5
 	}
 	return o.QualityRatio
+}
+
+// ReplanPhases splits a replan's wall clock into its sequential
+// phases; a zero field means the phase did not run. On the
+// whole-topology path the repair spends Dirty + Repair + Polish +
+// Gates; on the region-local path the concurrent per-region repairs
+// (greedy re-placement and polish together) land in Regions, with
+// Exchange covering the overlapping-region escalation. Fallback times
+// the full solver after an abandoned repair. JSON field names are
+// stable — bench baselines diff them across commits.
+type ReplanPhases struct {
+	// Dirty is the dirty-set construction (displaced MATs plus the
+	// bounded TDG frontier).
+	Dirty time.Duration `json:"dirty"`
+	// Repair is the greedy re-placement of displaced MATs
+	// (whole-topology path).
+	Repair time.Duration `json:"repair"`
+	// Polish is the bounded local-improve climb over the dirty set
+	// (whole-topology path).
+	Polish time.Duration `json:"polish"`
+	// Gates is validation, the quality-ratio check, and the lint/equiv
+	// hooks on the repaired plan.
+	Gates time.Duration `json:"gates"`
+	// Regions is the concurrent per-region repair fan-out
+	// (region-local path; includes each region's greedy and polish,
+	// plus the merge and materialization of the global plan).
+	Regions time.Duration `json:"regions"`
+	// Exchange is the overlapping-region boundary-exchange escalation.
+	Exchange time.Duration `json:"exchange"`
+	// Fallback is the full solver run after an abandoned repair (or
+	// under ReplanFull).
+	Fallback time.Duration `json:"fallback"`
 }
 
 // ReplanReport is the churn telemetry of one replan: which path
@@ -126,6 +168,23 @@ type ReplanReport struct {
 	RepairTime time.Duration
 	// TotalTime is the end-to-end replan wall clock.
 	TotalTime time.Duration
+	// Phases breaks TotalTime into the replan's sequential phases.
+	Phases ReplanPhases
+	// UsedRegional marks repairs that ran the region-local path (a
+	// Partition was supplied and the dirty set mapped onto it).
+	UsedRegional bool
+	// RegionsTouched lists the dirty regions the regional repair
+	// operated on, ascending; nil off the regional path.
+	RegionsTouched []int
+	// RegionsWidened counts dirty regions whose local repair could not
+	// restore feasibility alone and re-ran with the 2-hop widened
+	// candidate set (the overlapping-region neighborhoods).
+	RegionsWidened int
+	// ExchangeRounds and ExchangeMoves report the overlapping-region
+	// exchange escalation; both zero when the per-region repairs held
+	// the quality gate on their own.
+	ExchangeRounds int
+	ExchangeMoves  int
 }
 
 // Replan recomputes a deployment after programmable switches are
@@ -188,10 +247,22 @@ func ReplanWithOptions(old *Plan, solver Solver, ropts ReplanOptions, drained ..
 		return nil, nil, fmt.Errorf("placement: replan drains every programmable switch")
 	}
 
+	if ropts.Partition != nil && ropts.Partition.Topology().NumSwitches() != topo.NumSwitches() {
+		return nil, nil, fmt.Errorf("placement: replan partition covers %d switches, topology has %d",
+			ropts.Partition.Topology().NumSwitches(), topo.NumSwitches())
+	}
+
 	rep := &ReplanReport{Mode: ropts.Mode}
 	if ropts.Mode != ReplanFull {
 		repairStart := time.Now()
-		plan, dirty, rerr := repairPlan(old, topo, ropts, drainedSet)
+		var plan *Plan
+		var dirty int
+		var rerr error
+		if ropts.Partition != nil {
+			plan, dirty, rerr = repairRegional(old, topo, ropts, drainedSet, rep)
+		} else {
+			plan, dirty, rerr = repairPlan(old, topo, ropts, drainedSet, rep)
+		}
 		rep.RepairTime = time.Since(repairStart)
 		rep.DirtyMATs = dirty
 		if rerr == nil {
@@ -209,7 +280,9 @@ func ReplanWithOptions(old *Plan, solver Solver, ropts ReplanOptions, drained ..
 		}
 	}
 
+	fallbackStart := time.Now()
 	plan, err := solver.Solve(old.Graph, topo, ropts.Options)
+	rep.Phases.Fallback = time.Since(fallbackStart)
 	if err != nil {
 		rep.TotalTime = time.Since(start)
 		return nil, rep, fmt.Errorf("placement: replan: %w", err)
@@ -226,20 +299,13 @@ func ReplanWithOptions(old *Plan, solver Solver, ropts ReplanOptions, drained ..
 // pair-byte local search. It returns the repaired plan and the dirty
 // set size, or an error describing why the repair cannot stand (the
 // caller decides between fallback and failure).
-func repairPlan(old *Plan, topo *network.Topology, ropts ReplanOptions, drainedSet map[network.SwitchID]bool) (*Plan, int, error) {
+func repairPlan(old *Plan, topo *network.Topology, ropts ReplanOptions, drainedSet map[network.SwitchID]bool, rep *ReplanReport) (*Plan, int, error) {
 	g := old.Graph
 	rm := ropts.resourceModel()
 
-	// Dirty set: MATs stranded on drained or down switches, plus the
-	// dependency frontier — MATs within frontierDepth TDG hops. Frontier
-	// MATs keep their switch as the starting point but join the polish,
-	// giving the local search room to co-locate across the healed cut.
-	displaced := map[string]bool{}
-	for name, sp := range old.Assignments {
-		if drainedSet[sp.Switch] || topo.SwitchIsDown(sp.Switch) {
-			displaced[name] = true
-		}
-	}
+	phase := time.Now()
+	displaced, dirty := dirtySets(old, topo, ropts, drainedSet)
+	rep.Phases.Dirty = time.Since(phase)
 	if len(displaced) == 0 {
 		// Nothing hosted there: the old assignment is the repair. Routes
 		// may still change (the drained switch keeps forwarding, so
@@ -248,32 +314,9 @@ func repairPlan(old *Plan, topo *network.Topology, ropts ReplanOptions, drainedS
 		if err != nil {
 			return nil, 0, err
 		}
-		return finishRepair(plan, old, ropts, 0)
+		return finishRepairTimed(plan, old, ropts, 0, rep)
 	}
-	dirty := map[string]bool{}
-	for name := range displaced {
-		dirty[name] = true
-	}
-	frontier := displaced
-	for depth := 0; depth < ropts.frontierDepth(); depth++ {
-		next := map[string]bool{}
-		for name := range frontier {
-			for _, e := range g.OutEdges(name) {
-				if !dirty[e.To] {
-					next[e.To] = true
-				}
-			}
-			for _, e := range g.InEdges(name) {
-				if !dirty[e.From] {
-					next[e.From] = true
-				}
-			}
-		}
-		for name := range next {
-			dirty[name] = true
-		}
-		frontier = next
-	}
+	phase = time.Now()
 
 	// Seed assignment: everything but the displaced MATs keeps its
 	// switch.
@@ -386,12 +429,14 @@ func repairPlan(old *Plan, topo *network.Topology, ropts ReplanOptions, drainedS
 	if err != nil {
 		return nil, len(dirty), err
 	}
+	rep.Phases.Repair = time.Since(phase)
 
 	// Polish only the dirty set with the incremental pair-byte scorer,
 	// honoring the deadline (counter-gated inside the climb). The
 	// repair's improve budget scales with the dirty set rather than the
 	// cold solve's fixed 2s — the climb converges in a handful of passes
 	// over |dirty| MATs.
+	phase = time.Now()
 	improveDeadline := time.Now().Add(2 * time.Second)
 	if !ropts.Deadline.IsZero() && ropts.Deadline.Before(improveDeadline) {
 		improveDeadline = ropts.Deadline
@@ -399,7 +444,57 @@ func repairPlan(old *Plan, topo *network.Topology, ropts ReplanOptions, drainedS
 	if err := localImproveFiltered(plan, ropts.Options, rm, improveDeadline, dirty); err != nil {
 		return nil, len(dirty), err
 	}
-	return finishRepair(plan, old, ropts, len(dirty))
+	rep.Phases.Polish = time.Since(phase)
+	return finishRepairTimed(plan, old, ropts, len(dirty), rep)
+}
+
+// dirtySets computes the repair's working sets: displaced MATs
+// (stranded on drained or down switches) and the dirty set (displaced
+// plus the dependency frontier — MATs within frontierDepth TDG hops,
+// which keep their switch as the starting point but join the polish,
+// giving the local search room to co-locate across the healed cut).
+func dirtySets(old *Plan, topo *network.Topology, ropts ReplanOptions, drainedSet map[network.SwitchID]bool) (displaced, dirty map[string]bool) {
+	g := old.Graph
+	displaced = map[string]bool{}
+	for name, sp := range old.Assignments {
+		if drainedSet[sp.Switch] || topo.SwitchIsDown(sp.Switch) {
+			displaced[name] = true
+		}
+	}
+	dirty = map[string]bool{}
+	for name := range displaced {
+		dirty[name] = true
+	}
+	frontier := displaced
+	for depth := 0; depth < ropts.frontierDepth(); depth++ {
+		next := map[string]bool{}
+		for name := range frontier {
+			for _, e := range g.OutEdges(name) {
+				if !dirty[e.To] {
+					next[e.To] = true
+				}
+			}
+			for _, e := range g.InEdges(name) {
+				if !dirty[e.From] {
+					next[e.From] = true
+				}
+			}
+		}
+		for name := range next {
+			dirty[name] = true
+		}
+		frontier = next
+	}
+	return displaced, dirty
+}
+
+// finishRepairTimed is finishRepair with the gate wall clock recorded
+// in the report's phase breakdown.
+func finishRepairTimed(plan *Plan, old *Plan, ropts ReplanOptions, dirty int, rep *ReplanReport) (*Plan, int, error) {
+	start := time.Now()
+	p, d, err := finishRepair(plan, old, ropts, dirty)
+	rep.Phases.Gates += time.Since(start)
+	return p, d, err
 }
 
 // placeScore computes the A_max that results from placing the

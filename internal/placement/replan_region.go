@@ -1,0 +1,689 @@
+// Region-local incremental replanning (DESIGN.md §14): the sharded
+// solver folded into the churn path. With a topology Partition on the
+// replan options, the dirty set (displaced MATs plus the bounded TDG
+// frontier) is mapped onto the regions it intersects and each dirty
+// region is repaired concurrently on a compact per-region compiled
+// instance — the region's live programmable switches plus the frozen
+// halo hosts its dirty MATs communicate with, so the PR 4 kernels run
+// on tables sized by the region, never S². Escalation is layered:
+//
+//  1. Per-region greedy re-placement + polish (this file). A region
+//     that cannot host its displaced MATs retries once with the 2-hop
+//     widened candidate set (its partition neighbors), letting a MAT
+//     cross more than one cut.
+//  2. A merged plan that would fail the quality gate runs a bounded
+//     overlapping-region boundary exchange (RegionExchangeHook,
+//     registered by internal/placement/shard) before being re-gated.
+//  3. Only then does ReplanAuto fall back to the caller's solver — a
+//     sharded cold re-solve when the caller passes ShardedGreedy.
+//
+// Regions repair independently against the pre-repair snapshot (the
+// same approximation the sharded solver's regional solves make); the
+// merged plan passes the full gate stack (Validate, quality ratio,
+// lint, equiv) exactly like the whole-topology repair.
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/hermes-net/hermes/internal/network"
+	"github.com/hermes-net/hermes/internal/program"
+	"github.com/hermes-net/hermes/internal/tdg"
+)
+
+// RegionExchangeStats summarizes one overlapping-region boundary
+// exchange run (the escalation the regional repair invokes through
+// RegionExchangeHook).
+type RegionExchangeStats struct {
+	// Hosts is the compacted host-space size the exchange ran in.
+	Hosts int
+	// Rounds and Moves count executed rounds and accepted migrations.
+	Rounds, Moves int
+	// AMaxBefore and AMaxAfter bracket the exchange (Eq. 1 bytes).
+	AMaxBefore, AMaxAfter int
+}
+
+// RegionExchangeHook, when registered, runs the bounded
+// overlapping-region boundary exchange over a merged assignment,
+// mutating it in place: MATs migrate across region cuts — up to
+// `overlap` cuts per round via the region-neighborhood target sets —
+// while the global (A_max, cross-bytes) objective strictly improves.
+// internal/placement/shard registers the implementation from its
+// init, mirroring PlanLintHook/PlanEquivHook (the variable indirection
+// avoids the shard→placement import cycle). With no hook registered
+// the regional repair skips the escalation and goes straight to the
+// gate.
+var RegionExchangeHook func(g *tdg.Graph, topo *network.Topology, part *network.Partition,
+	assign map[string]network.SwitchID, opts Options, rounds, overlap int) (RegionExchangeStats, error)
+
+// Escalation budget: the exchange runs few rounds (it only has to
+// shave the quality overshoot, not reconcile a cold merge) with the
+// 2-hop overlapping neighborhoods.
+const (
+	escalationRounds  = 4
+	escalationOverlap = 2
+)
+
+// regionSpares bounds the empty candidate switches admitted per region
+// repair. Candidate hosts are the regions' switches that already hold
+// MATs plus this many unoccupied spares (lowest IDs first): the greedy
+// scores favor co-location so empty switches beyond a safety pool
+// almost never win, and the compiled tables are U²-sized — admitting
+// every empty switch of a 300-switch region would make the scratch
+// allocations, not the repair, the replan's critical path. A region
+// whose displaced MATs overflow the pool reports errRegionInfeasible
+// and retries widened, exactly like any other capacity shortfall.
+const regionSpares = 32
+
+// errRegionInfeasible marks a region-local repair that cannot place a
+// displaced MAT inside its candidate set; the caller widens the set or
+// falls back.
+var errRegionInfeasible = errors.New("region repair infeasible")
+
+// repairRegional is the region-local delta path (the counterpart of
+// repairPlan when ReplanOptions.Partition is set). It returns the
+// repaired plan and the dirty-set size, or an error describing why the
+// regional repair cannot stand.
+func repairRegional(old *Plan, topo *network.Topology, ropts ReplanOptions, drainedSet map[network.SwitchID]bool, rep *ReplanReport) (*Plan, int, error) {
+	g := old.Graph
+	rm := ropts.resourceModel()
+	part := ropts.Partition
+
+	phase := time.Now()
+	displaced, dirty := dirtySets(old, topo, ropts, drainedSet)
+	rep.Phases.Dirty = time.Since(phase)
+	if len(displaced) == 0 {
+		// Nothing hosted on the drained switches; re-materialize (routes
+		// may change) and gate.
+		plan, err := materializeRegional(g, topo, assignmentOf(old), rm, old, ropts)
+		if err != nil {
+			return nil, 0, err
+		}
+		return finishRepairTimed(plan, old, ropts, 0, rep)
+	}
+
+	// Map the dirty set onto the regions it intersects: every dirty MAT
+	// belongs to the region of its pre-drain host, so each MAT is
+	// movable in exactly one region's repair and the merge is disjoint.
+	regionDirty := map[int][]string{}
+	for name := range dirty {
+		host := old.Assignments[name].Switch
+		r := part.RegionOf(host)
+		if r < 0 {
+			return nil, len(dirty), fmt.Errorf("partition does not cover switch %d", host)
+		}
+		regionDirty[r] = append(regionDirty[r], name)
+	}
+	regions := make([]int, 0, len(regionDirty))
+	for r := range regionDirty {
+		sort.Strings(regionDirty[r])
+		regions = append(regions, r)
+	}
+	sort.Ints(regions)
+	rep.UsedRegional = true
+	rep.RegionsTouched = regions
+
+	// Surviving global assignment: everything but the displaced MATs
+	// keeps its switch. Read-only while the region repairs run. used
+	// records which switches still hold MATs — the region repairs build
+	// their candidate sets around it.
+	assign := make(map[string]network.SwitchID, g.NumNodes())
+	used := make(map[network.SwitchID]bool, len(old.Assignments)/4+1)
+	for name, sp := range old.Assignments {
+		if !displaced[name] {
+			assign[name] = sp.Switch
+			used[sp.Switch] = true
+		}
+	}
+
+	// Under a traffic matrix every region compacts the same global pair
+	// rates (routed once here, on the real topology — the per-region
+	// pseudo-topologies are links-free).
+	var rates []float64
+	if ropts.Traffic != nil {
+		var err error
+		rates, err = ropts.Traffic.PairRates(topo)
+		if err != nil {
+			return nil, len(dirty), err
+		}
+	}
+
+	nbr := regionAdjacency(part)
+	phase = time.Now()
+	results := make([]map[string]network.SwitchID, len(regions))
+	errs := make([]error, len(regions))
+	widened := make([]bool, len(regions))
+	parallelForShard(len(regions), ropts.workers(), func(_, i int) {
+		r := regions[i]
+		res, err := repairOneRegion(g, topo, part, assign, used, regionDirty[r], displaced, ropts, rm, rates, []int{r})
+		if errors.Is(err, errRegionInfeasible) {
+			// Overlapping-region escalation: admit candidates from the
+			// 2-hop region neighborhood so a displaced MAT may land
+			// across more than one cut.
+			widened[i] = true
+			res, err = repairOneRegion(g, topo, part, assign, used, regionDirty[r], displaced, ropts, rm, rates,
+				append([]int{r}, nbr[r]...))
+		}
+		results[i], errs[i] = res, err
+	})
+	rep.Phases.Regions = time.Since(phase)
+	for i, err := range errs {
+		if err != nil {
+			return nil, len(dirty), fmt.Errorf("region %d: %w", regions[i], err)
+		}
+		if widened[i] {
+			rep.RegionsWidened++
+		}
+	}
+	for _, res := range results {
+		for name, u := range res {
+			assign[name] = u
+		}
+	}
+
+	// Each region checked acyclicity on its instance's contracted
+	// subgraph; a cycle threading placed MATs through hosts outside the
+	// instance is invisible there, so re-prove the invariant globally
+	// (O(E) Kahn over the used switches) before standing the plan up.
+	if !assignmentAcyclicGlobal(g, assign) {
+		return nil, len(dirty), fmt.Errorf("regional repair left a cyclic contracted switch graph")
+	}
+
+	plan, err := materializeRegional(g, topo, assign, rm, old, ropts)
+	if err != nil {
+		return nil, len(dirty), err
+	}
+	rep.Phases.Regions = time.Since(phase) // fan-out + merge + materialize
+
+	// Bounded overlapping-region exchange: the escalation between the
+	// per-region repairs and the full-solve fallback. It runs only when
+	// the merged plan would fail the quality gate — the same
+	// reconciliation a sharded cold solve ends with, aimed at merges
+	// whose drain shifted the global bottleneck outside the dirty
+	// regions. Feasibility is preserved throughout (the exchange
+	// migrates only already-placed MATs under the same
+	// capacity/acyclicity checks); a plan still past the gate after the
+	// exchange falls back to the full solve via finishRepair.
+	if ratio := ropts.qualityRatio(); ratio > 0 && RegionExchangeHook != nil {
+		if oldA := old.AMax(); oldA > 0 && float64(plan.AMax()) > ratio*float64(oldA) {
+			exStart := time.Now()
+			st, exErr := RegionExchangeHook(g, topo, part, assign, ropts.Options, escalationRounds, escalationOverlap)
+			rep.Phases.Exchange = time.Since(exStart)
+			if exErr == nil && st.Moves > 0 {
+				rep.ExchangeRounds, rep.ExchangeMoves = st.Rounds, st.Moves
+				if plan2, mErr := materializeRegional(g, topo, assign, rm, old, ropts); mErr == nil {
+					plan = plan2
+				}
+			}
+		}
+	}
+	return finishRepairTimed(plan, old, ropts, len(dirty), rep)
+}
+
+// materializeRegional packs the merged assignment and fills in routes,
+// reusing the pre-drain plan's routes when they are provably still
+// valid: the replan ran against a clone of the old plan's own topology
+// (no ReplanOptions.Topology override) and neither side carries a fault
+// overlay, so the link graph and transit latencies routing depends on
+// are unchanged — a drained switch keeps forwarding (the contract
+// Replan documents), it only stops hosting. Only the pairs the repair
+// created (moved MATs on new hosts) are routed, in one batched oracle
+// query against the old topology, whose SSSP cache is already warm from
+// the base solve. Any condition outside that window falls back to the
+// full route recompute.
+func materializeRegional(g *tdg.Graph, topo *network.Topology, assign map[string]network.SwitchID,
+	rm program.ResourceModel, old *Plan, ropts ReplanOptions) (*Plan, error) {
+	if ropts.Topology != nil || len(old.Routes) == 0 || old.Topo.HasFaults() || topo.HasFaults() {
+		return materializeAssignment(g, topo, assign, rm)
+	}
+	plan, err := packAssignment(g, topo, assign, rm)
+	if err != nil {
+		return nil, err
+	}
+	bytes := plan.PairBytes()
+	plan.Routes = make(map[RouteKey]network.Path, len(bytes))
+	var keys []RouteKey
+	var pairs [][2]network.SwitchID
+	for key := range bytes {
+		if p, ok := old.Routes[key]; ok {
+			plan.Routes[key] = p
+		} else {
+			keys = append(keys, key)
+			pairs = append(pairs, [2]network.SwitchID{key.From, key.To})
+		}
+	}
+	if len(pairs) > 0 {
+		paths, err := old.Topo.ShortestPaths(pairs)
+		if err != nil {
+			return nil, err
+		}
+		for i, key := range keys {
+			plan.Routes[key] = paths[i]
+		}
+	}
+	return plan, nil
+}
+
+// assignmentAcyclicGlobal reports whether the contracted switch graph
+// of the full assignment is a DAG — the solver invariant lint restates
+// as HL110. The per-region repairs prove it only on their instance
+// subgraphs, so the merge re-proves it over every TDG edge.
+func assignmentAcyclicGlobal(g *tdg.Graph, assign map[string]network.SwitchID) bool {
+	adj := map[network.SwitchID]map[network.SwitchID]bool{}
+	indeg := map[network.SwitchID]int{}
+	nodes := map[network.SwitchID]bool{}
+	for _, u := range assign {
+		nodes[u] = true
+	}
+	for _, e := range g.EdgeList() {
+		a, b := assign[e.From], assign[e.To]
+		if a == b {
+			continue
+		}
+		if adj[a] == nil {
+			adj[a] = map[network.SwitchID]bool{}
+		}
+		if !adj[a][b] {
+			adj[a][b] = true
+			indeg[b]++
+		}
+	}
+	queue := make([]network.SwitchID, 0, len(nodes))
+	for id := range nodes {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	processed := 0
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		processed++
+		for nb := range adj[id] {
+			if indeg[nb]--; indeg[nb] == 0 {
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return processed == len(nodes)
+}
+
+// regionAdjacency returns each region's neighbor list (regions joined
+// by at least one boundary link), ascending.
+func regionAdjacency(part *network.Partition) [][]int {
+	nbr := make([][]int, part.NumRegions())
+	for _, pr := range part.AdjacentRegions() {
+		nbr[pr[0]] = append(nbr[pr[0]], pr[1])
+		nbr[pr[1]] = append(nbr[pr[1]], pr[0])
+	}
+	return nbr
+}
+
+// repairOneRegion heals one dirty region on a compact compiled
+// instance. candRegions lists the regions whose live programmable
+// switches may host this region's dirty MATs ({r} normally, r plus its
+// partition neighbors on the widened retry); every other host the
+// dirty MATs communicate with joins the instance as a frozen halo
+// anchor, so each pair-byte cell a repair move can touch carries its
+// true background bytes. baseAssign is read-only (regions repair
+// concurrently); the returned map carries this region's dirty MATs and
+// their final hosts.
+func repairOneRegion(g *tdg.Graph, topo *network.Topology, part *network.Partition,
+	baseAssign map[string]network.SwitchID, used map[network.SwitchID]bool,
+	dirtyNames []string, displaced map[string]bool,
+	ropts ReplanOptions, rm program.ResourceModel, rates []float64, candRegions []int) (map[string]network.SwitchID, error) {
+
+	// Candidate hosts: the candidate regions' live programmable
+	// switches that still hold MATs, plus up to regionSpares empty ones
+	// (ascending ID — part.Region is sorted, and candRegions order is
+	// deterministic).
+	candSet := map[network.SwitchID]bool{}
+	var hosts []network.SwitchID
+	spares := 0
+	for _, r := range candRegions {
+		for _, id := range part.Region(r) {
+			sw, err := topo.Switch(id)
+			if err != nil {
+				return nil, err
+			}
+			if !sw.Programmable || topo.SwitchIsDown(id) {
+				continue
+			}
+			if !used[id] {
+				if spares >= regionSpares {
+					continue
+				}
+				spares++
+			}
+			candSet[id] = true
+			hosts = append(hosts, id)
+		}
+	}
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("%w: no live programmable switch in candidate regions", errRegionInfeasible)
+	}
+
+	// Halo hosts: frozen anchors — hosts of the dirty MATs' TDG peers
+	// outside the candidate set (edge-map iteration order is fine here:
+	// hosts are sorted below and haloSet dedupes).
+	haloSet := map[network.SwitchID]bool{}
+	addHalo := func(peer string) {
+		if u, ok := baseAssign[peer]; ok && !candSet[u] && !haloSet[u] {
+			haloSet[u] = true
+			hosts = append(hosts, u)
+		}
+	}
+	for _, name := range dirtyNames {
+		for peer := range g.OutEdgeList(name) {
+			addHalo(peer)
+		}
+		for peer := range g.InEdgeList(name) {
+			addHalo(peer)
+		}
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+
+	// Links-free pseudo-topology over the instance hosts (the
+	// buildHostState pattern): the compiled tables are U²-sized, U =
+	// |region candidates| + |halo|, independent of the global S.
+	topoR := network.NewTopology(topo.Name + "/replan-region")
+	hostIdx := make(map[network.SwitchID]int32, len(hosts))
+	for i, gid := range hosts {
+		sw, err := topo.Switch(gid)
+		if err != nil {
+			return nil, err
+		}
+		topoR.AddSwitch(*sw) // ID rewritten to the dense local index
+		hostIdx[gid] = int32(i)
+	}
+
+	// Instance MATs: every MAT resident on an instance host (their pair
+	// bytes are the background the scores sit on), plus this region's
+	// displaced MATs (unassigned, to be placed).
+	names := make([]string, 0, len(dirtyNames))
+	for name, u := range baseAssign {
+		if _, ok := hostIdx[u]; ok {
+			names = append(names, name)
+		}
+	}
+	for _, name := range dirtyNames {
+		if displaced[name] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	// Compile the instance straight out of g (no intermediate
+	// tdg.Subgraph: its string-keyed node/edge maps and uncached topo
+	// sort would cost more than the repair itself).
+	ci, err := compileSubset(g, names, topoR, rm)
+	if err != nil {
+		return nil, err
+	}
+
+	dense := make([]int32, len(ci.Names))
+	residents := make([][]string, len(hosts))
+	for x, name := range ci.Names {
+		if u, ok := baseAssign[name]; ok {
+			h := hostIdx[u]
+			dense[x] = h
+			residents[h] = append(residents[h], name)
+		} else {
+			dense[x] = -1
+		}
+	}
+	pt := ci.NewPairTable()
+	ci.FillPairTable(dense, pt)
+	ms := ci.NewMoveScratch()
+	cyc := ci.NewCycleScratch()
+	poll := newDeadlinePoller(ropts.Deadline, 16).withCancel(ropts.done())
+
+	var wt *WeightTable
+	var curSum int64
+	if rates != nil {
+		wt = NewWeightTable(rates, int32(topo.NumSwitches())).Compact(hosts)
+		curSum, _ = wt.Score(pt)
+	}
+
+	// Candidate local indices, ascending host ID; halo hosts are never
+	// placement targets.
+	cands := make([]int32, 0, len(hosts))
+	for i, gid := range hosts {
+		if candSet[gid] {
+			cands = append(cands, int32(i))
+		}
+	}
+
+	// Greedy re-placement of this region's displaced MATs in topo
+	// order — the same PlaceScore kernels as the whole-topology repair,
+	// U-indexed instead of S-indexed. g's cached topological index
+	// orders them (a topological order of g restricted to any subset is
+	// a topological order of the induced subgraph), sparing each region
+	// an uncached O(V+E) sort.
+	gpos, err := g.TopoIndex()
+	if err != nil {
+		return nil, err
+	}
+	place := make([]string, 0, len(dirtyNames))
+	for _, name := range dirtyNames {
+		if displaced[name] {
+			place = append(place, name)
+		}
+	}
+	sort.Slice(place, func(i, j int) bool { return gpos[place[i]] < gpos[place[j]] })
+	type scored struct {
+		h    int32
+		w    int64
+		amax int
+	}
+	less := func(a, b scored) bool {
+		if a.w != b.w {
+			return a.w < b.w
+		}
+		if a.amax != b.amax {
+			return a.amax < b.amax
+		}
+		return hosts[a.h] < hosts[b.h]
+	}
+	scoredCands := make([]scored, 0, len(cands))
+	for _, name := range place {
+		if poll.Expired() {
+			return nil, fmt.Errorf("deadline expired or replan canceled during regional repair")
+		}
+		x := ci.Index[name]
+		scoredCands = scoredCands[:0]
+		//hermes:hot
+		for _, h := range cands {
+			c := scored{h: h, amax: ci.PlaceScore(dense, pt, ms, x, h)}
+			if wt != nil {
+				ws, wm := ci.PlaceScoreWeighted(dense, pt, ms, wt, x, h, curSum)
+				c.w = ropts.TrafficObjective.pick(ws, wm)
+			}
+			scoredCands = append(scoredCands, c)
+		}
+		// Selection scan in (W, A_max, host-ID) order: nearly every MAT
+		// lands on its first choice, so extracting minima on demand beats
+		// sorting the whole candidate list per MAT.
+		placed := false
+		for range scoredCands {
+			best := -1
+			for i, c := range scoredCands {
+				if c.h < 0 {
+					continue // already tried
+				}
+				if best < 0 || less(c, scoredCands[best]) {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			c := scoredCands[best]
+			scoredCands[best].h = -1
+			sw, err := topo.Switch(hosts[c.h])
+			if err != nil {
+				continue
+			}
+			// Fit against the FULL graph: packShared orders co-located MATs
+			// by g's canonical topo index, which is what the merged plan's
+			// materialize will pack by — the subgraph's order can disagree
+			// and flip a verdict.
+			if !FitsSwitch(g, append(append([]string(nil), residents[c.h]...), name), sw, rm) {
+				continue
+			}
+			dense[x] = c.h
+			if !ci.AssignmentAcyclic(dense, cyc) {
+				dense[x] = -1
+				continue
+			}
+			residents[c.h] = append(residents[c.h], name)
+			ci.ApplyPlace(dense, pt, x, c.h)
+			if wt != nil {
+				curSum, _ = wt.Score(pt)
+			}
+			placed = true
+			break
+		}
+		if !placed {
+			return nil, fmt.Errorf("%w: no feasible switch for displaced MAT %q", errRegionInfeasible, name)
+		}
+	}
+
+	if err := polishRegion(ci, topo, g, hosts, cands, dense, pt, residents, dirtyNames, wt, ropts, rm, ms, cyc); err != nil {
+		return nil, err
+	}
+
+	out := make(map[string]network.SwitchID, len(dirtyNames))
+	for _, name := range dirtyNames {
+		x, ok := ci.Index[name]
+		if !ok || dense[x] < 0 {
+			return nil, fmt.Errorf("%w: dirty MAT %q left unplaced", errRegionInfeasible, name)
+		}
+		out[name] = hosts[dense[x]]
+	}
+	return out, nil
+}
+
+// polishRegion runs the bounded first-improvement climb over one
+// region's dirty MATs. Move targets are the candidate hosts already in
+// use (the same used-switch restriction as the whole-plan climb); halo
+// hosts are never targets. The climb is serial within the region —
+// regions already run concurrently — so every worker count yields the
+// same plan. ε1 is not probed locally (the pseudo-topology is
+// links-free); the merged plan's Validate enforces it globally.
+func polishRegion(ci *CompiledInstance, topo *network.Topology, g *tdg.Graph,
+	hosts []network.SwitchID, cands []int32, dense []int32, pt *PairTable,
+	residents [][]string, dirtyNames []string, wt *WeightTable,
+	ropts ReplanOptions, rm program.ResourceModel, ms *MoveScratch, cyc *CycleScratch) error {
+
+	total := ci.FillPairTable(dense, pt)
+	amax := pt.Max()
+	var wval, curSum int64
+	var acap int
+	if wt != nil {
+		s, m := wt.Score(pt)
+		curSum = s
+		wval = ropts.TrafficObjective.pick(s, m)
+		acap = AMaxCap(ropts.Options, amax)
+	}
+	deadline := time.Now().Add(time.Second)
+	if !ropts.Deadline.IsZero() && ropts.Deadline.Before(deadline) {
+		deadline = ropts.Deadline
+	}
+	poll := newDeadlinePoller(deadline, 32).withCancel(ropts.done())
+
+	dirtyIdx := make([]int32, 0, len(dirtyNames))
+	for _, name := range dirtyNames {
+		if x, ok := ci.Index[name]; ok {
+			dirtyIdx = append(dirtyIdx, x)
+		}
+	}
+	commit := func(x, from, to int32) {
+		name := ci.Names[x]
+		l := residents[from]
+		for i, n := range l {
+			if n == name {
+				residents[from] = append(l[:i], l[i+1:]...)
+				break
+			}
+		}
+		residents[to] = append(residents[to], name)
+	}
+	moveOK := func(x, to int32) bool {
+		sw, err := topo.Switch(hosts[to])
+		if err != nil {
+			return false
+		}
+		if !FitsSwitch(g, append(append([]string(nil), residents[to]...), ci.Names[x]), sw, rm) {
+			return false
+		}
+		from := dense[x]
+		dense[x] = to
+		ok := ci.AssignmentAcyclic(dense, cyc)
+		dense[x] = from
+		return ok
+	}
+	var usedCands []int32
+	const maxPasses = 4
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		usedCands = usedCands[:0]
+		for _, h := range cands {
+			if len(residents[h]) > 0 {
+				usedCands = append(usedCands, h)
+			}
+		}
+		for _, x := range dirtyIdx {
+			if poll.Expired() {
+				return nil
+			}
+			cur := dense[x]
+			for _, h := range usedCands {
+				if h == cur {
+					continue
+				}
+				a, cross := ci.MoveScore(dense, pt, ms, x, h, total)
+				if wt == nil {
+					if a > amax || (a == amax && cross >= total) {
+						continue
+					}
+					if !moveOK(x, h) {
+						continue
+					}
+					total = ci.ApplyMove(dense, pt, x, h, total)
+					amax = a
+					commit(x, cur, h)
+					cur = h
+					improved = true
+					continue
+				}
+				// Weighted descent on the lexicographic (W, A_max, cross)
+				// key, with the structural A_max capped at the climb-start
+				// ceiling (AMaxSlack), mirroring the whole-plan climb.
+				if a > acap {
+					continue
+				}
+				ws, wm := ci.MoveScoreWeighted(dense, pt, ms, wt, x, h, curSum)
+				w := ropts.TrafficObjective.pick(ws, wm)
+				if w > wval || (w == wval && (a > amax || (a == amax && cross >= total))) {
+					continue
+				}
+				if !moveOK(x, h) {
+					continue
+				}
+				total = ci.ApplyMove(dense, pt, x, h, total)
+				wval, curSum = w, ws
+				amax = a
+				commit(x, cur, h)
+				cur = h
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return nil
+}

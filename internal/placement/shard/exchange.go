@@ -81,6 +81,23 @@ type proposal struct {
 func (s ShardedGreedy) exchange(g *tdg.Graph, topo *network.Topology, part *network.Partition,
 	assign map[string]network.SwitchID, opts placement.Options, rm program.ResourceModel,
 	rounds int, st *Stats) error {
+	return exchangeAssign(g, topo, part, assign, opts, rm, rounds, s.overlap(), st)
+}
+
+// exchangeAssign is the exchange engine, factored free of ShardedGreedy
+// so the regional replan escalation (placement.RegionExchangeHook) can
+// invoke it on a merged assignment. overlap ≥ 1 sets how many region
+// cuts a single migration may cross per round: 1 restricts each pair's
+// targets to its own two regions (the classic schedule); k ≥ 2 admits
+// targets up to k−1 hops away in the region adjacency graph (the 2-hop
+// overlapping neighborhoods of DESIGN.md §14), letting a MAT escape a
+// corner where the improving host sits just across a second cut.
+// Stage disjointness still holds on the pair endpoints, so concurrent
+// proposal passes stay read-only-safe; the serial exact re-scoring
+// apply is what keeps overlapping target sets correct.
+func exchangeAssign(g *tdg.Graph, topo *network.Topology, part *network.Partition,
+	assign map[string]network.SwitchID, opts placement.Options, rm program.ResourceModel,
+	rounds, overlap int, st *Stats) error {
 
 	hs, err := buildHostState(g, topo, part, assign, rm)
 	if err != nil {
@@ -113,6 +130,23 @@ func (s ShardedGreedy) exchange(g *tdg.Graph, topo *network.Topology, part *netw
 	msApply := hs.ci.NewMoveScratch()
 	cyc := hs.ci.NewCycleScratch()
 
+	// Per-pair allowed-region masks. With overlap == 1 every mask is
+	// just the pair itself; wider overlaps expand along the region
+	// adjacency graph (computed once — region count is small).
+	var regNbr [][]int32
+	if overlap > 1 {
+		regNbr = regionNeighbors(part)
+	}
+	allowedCache := map[[2]int32][]bool{}
+	allowedFor := func(pr [2]int32) []bool {
+		m, ok := allowedCache[pr]
+		if !ok {
+			m = allowedRegions(pr, regNbr, overlap, part.NumRegions())
+			allowedCache[pr] = m
+		}
+		return m
+	}
+
 	for round := 0; round < rounds; round++ {
 		if expired(opts) {
 			break
@@ -134,15 +168,30 @@ func (s ShardedGreedy) exchange(g *tdg.Graph, topo *network.Topology, part *netw
 			bneck := bottlenecks(hs)
 			// Step 2: concurrent per-pair proposal computation
 			// (read-only; indexed slots keep it deterministic).
+			allow := make([][]bool, len(stage))
+			for i, pr := range stage {
+				allow[i] = allowedFor(pr)
+			}
 			props := make([][]proposal, len(stage))
 			parallelFor(len(stage), w, func(worker, i int) {
-				props[i] = proposePair(hs, stage[i], cands[i], bneck, scratch[worker])
+				props[i] = proposePair(hs, stage[i], cands[i], bneck, allow[i], scratch[worker])
 			})
 			// Step 3: barrier reached; serial deterministic apply with
 			// exact re-scoring.
 			for i := range stage {
 				moved += hs.applyProposals(g, topo, props[i], rm, msApply, cyc)
 			}
+		}
+		if overlap > 1 {
+			// Overlapping escalation also sweeps the global bottleneck
+			// cells: the pair schedule only attacks cross-region cuts, but
+			// after a regional repair the Eq. 1 argmax can sit inside one
+			// region (or on a pair untouched by any cut). The sweep
+			// proposes moving each bottleneck cell's contributing MATs
+			// next to their TDG peers, wherever those live — the serial
+			// exact apply keeps only strict lexicographic improvements, so
+			// this is pure extra reach, not a different objective.
+			moved += hs.applyProposals(g, topo, bottleneckSweep(hs), rm, msApply, cyc)
 		}
 		st.Rounds = round + 1
 		st.Moves += moved
@@ -308,14 +357,15 @@ func stageCandidates(hs *hostState, stage [][2]int32) []map[int32]int64 {
 // proposePair computes one pair's ranked migration proposals against
 // the stage-start snapshot. Read-only on hs; scratch is this worker's
 // delta map. Candidates are the pair's heaviest boundary MATs; targets
-// are the hosts of each MAT's TDG peers within the pair's regions
-// (migrating a MAT next to its communication partners is what removes
-// cross-cut bytes). Scoring is the O(deg) screen: a move is class 0
-// when it strictly reduces every bottleneck cell and lifts no touched
-// cell to A_max (guaranteed strict A_max descent), class 1 when it
-// keeps every touched cell under A_max and strictly cuts cross bytes.
-// Exact re-scoring happens at apply time.
-func proposePair(hs *hostState, pr [2]int32, contrib map[int32]int64, bneck []int32, scratch map[int32]int32) []proposal {
+// are the hosts of each MAT's TDG peers within the pair's allowed
+// regions — the pair itself under overlap 1, its overlapping
+// neighborhood otherwise (migrating a MAT next to its communication
+// partners is what removes cross-cut bytes). Scoring is the O(deg)
+// screen: a move is class 0 when it strictly reduces every bottleneck
+// cell and lifts no touched cell to A_max (guaranteed strict A_max
+// descent), class 1 when it keeps every touched cell under A_max and
+// strictly cuts cross bytes. Exact re-scoring happens at apply time.
+func proposePair(hs *hostState, pr [2]int32, contrib map[int32]int64, bneck []int32, allowed []bool, scratch map[int32]int32) []proposal {
 	if len(contrib) == 0 {
 		return nil
 	}
@@ -352,7 +402,7 @@ func proposePair(hs *hostState, pr [2]int32, contrib map[int32]int64, bneck []in
 			if h == cur {
 				continue
 			}
-			if r := hs.region[h]; r != pr[0] && r != pr[1] {
+			if !allowed[hs.region[h]] {
 				continue
 			}
 			targets = append(targets, h)
@@ -517,6 +567,92 @@ func expired(opts placement.Options) bool {
 		}
 	}
 	return !opts.Deadline.IsZero() && time.Now().After(opts.Deadline)
+}
+
+// bottleneckSweep proposes migrations for the MATs contributing to the
+// current global bottleneck cells, targeting the hosts of their TDG
+// peers (the only moves that can delete bytes from an A_max cell).
+// Proposals are screened loosely — exact scoring, feasibility, and the
+// strict-descent gate all happen in applyProposals — and ordered
+// deterministically.
+func bottleneckSweep(hs *hostState) []proposal {
+	bneck := bottlenecks(hs)
+	if len(bneck) == 0 {
+		return nil
+	}
+	inB := make(map[int32]bool, len(bneck))
+	for _, k := range bneck {
+		inB[k] = true
+	}
+	ci := hs.ci
+	S := int32(len(hs.hosts))
+	seen := map[[2]int32]bool{}
+	var props []proposal
+	propose := func(x int32) {
+		cur := hs.assignH[x]
+		for _, ei := range ci.Incident[x] {
+			peer := ci.EdgeTo[ei]
+			if peer == x {
+				peer = ci.EdgeFrom[ei]
+			}
+			h := hs.assignH[peer]
+			if h == cur || seen[[2]int32{x, h}] {
+				continue
+			}
+			seen[[2]int32{x, h}] = true
+			props = append(props, proposal{x: x, to: h, class: 0, delta: 0})
+		}
+	}
+	for ei := range ci.EdgeFrom {
+		ua := hs.assignH[ci.EdgeFrom[ei]]
+		ub := hs.assignH[ci.EdgeTo[ei]]
+		if ua == ub || !inB[ua*S+ub] {
+			continue
+		}
+		propose(ci.EdgeFrom[ei])
+		propose(ci.EdgeTo[ei])
+	}
+	sort.Slice(props, func(i, j int) bool {
+		return props[i].x < props[j].x || (props[i].x == props[j].x && props[i].to < props[j].to)
+	})
+	if len(props) > 4*propCap {
+		props = props[:4*propCap]
+	}
+	return props
+}
+
+// regionNeighbors builds the region adjacency lists (regions joined by
+// at least one boundary link), ascending.
+func regionNeighbors(part *network.Partition) [][]int32 {
+	nbr := make([][]int32, part.NumRegions())
+	for _, pr := range part.AdjacentRegions() {
+		nbr[pr[0]] = append(nbr[pr[0]], int32(pr[1]))
+		nbr[pr[1]] = append(nbr[pr[1]], int32(pr[0]))
+	}
+	return nbr
+}
+
+// allowedRegions returns the mask of regions a pair's migrations may
+// target: the pair itself plus every region within overlap−1 hops of
+// either endpoint in the region adjacency graph (BFS; regNbr may be
+// nil when overlap == 1).
+func allowedRegions(pr [2]int32, regNbr [][]int32, overlap, numRegions int) []bool {
+	mask := make([]bool, numRegions)
+	mask[pr[0]], mask[pr[1]] = true, true
+	frontier := []int32{pr[0], pr[1]}
+	for hop := 1; hop < overlap && len(frontier) > 0; hop++ {
+		var next []int32
+		for _, r := range frontier {
+			for _, n := range regNbr[r] {
+				if !mask[n] {
+					mask[n] = true
+					next = append(next, n)
+				}
+			}
+		}
+		frontier = next
+	}
+	return mask
 }
 
 // dedupInt32 removes adjacent duplicates from a sorted slice.

@@ -1,0 +1,44 @@
+package shard
+
+import (
+	"github.com/hermes-net/hermes/internal/network"
+	"github.com/hermes-net/hermes/internal/placement"
+	"github.com/hermes-net/hermes/internal/program"
+	"github.com/hermes-net/hermes/internal/tdg"
+)
+
+// The regional replan escalation (DESIGN.md §14) needs the boundary
+// exchange, but placement cannot import shard. Mirroring the
+// PlanLintHook/PlanEquivHook pattern, importing this package arms
+// placement.RegionExchangeHook with the overlapping-region exchange —
+// every caller that can reach ShardedGreedy (hermes.go, the CLIs, the
+// supervisor) gets the escalation for free.
+func init() {
+	placement.RegionExchangeHook = func(g *tdg.Graph, topo *network.Topology, part *network.Partition,
+		assign map[string]network.SwitchID, opts placement.Options, rounds, overlap int) (placement.RegionExchangeStats, error) {
+
+		if rounds <= 0 {
+			rounds = escalationDefaultRounds
+		}
+		if overlap < 1 {
+			overlap = 1
+		}
+		var st Stats
+		rm := program.DefaultResourceModel
+		if opts.Resources != nil {
+			rm = *opts.Resources
+		}
+		err := exchangeAssign(g, topo, part, assign, opts, rm, rounds, overlap, &st)
+		return placement.RegionExchangeStats{
+			Hosts:      st.Hosts,
+			Rounds:     st.Rounds,
+			Moves:      st.Moves,
+			AMaxBefore: st.AMaxBefore,
+			AMaxAfter:  st.AMaxAfter,
+		}, err
+	}
+}
+
+// escalationDefaultRounds bounds a hook invocation that passes no
+// round budget.
+const escalationDefaultRounds = 4

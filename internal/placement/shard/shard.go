@@ -53,6 +53,15 @@ type ShardedGreedy struct {
 	// at 100ms — so the aggregate polish budget of a sharded solve
 	// matches the whole-graph solver it replaces.
 	ImproveBudget time.Duration
+	// Overlap sets how many region cuts an exchange migration may cross
+	// per round (DESIGN.md §14). ≤1 keeps the classic pair-local
+	// targets; 2 admits the 2-hop overlapping region neighborhoods.
+	Overlap int
+	// Partition, when non-nil and built over a topology with the same
+	// switch count, is reused instead of re-partitioning — the
+	// supervisor and the regional replan path hand the solver the
+	// partition they already maintain.
+	Partition *network.Partition
 }
 
 var _ placement.Solver = (*ShardedGreedy)(nil)
@@ -106,6 +115,13 @@ func (s ShardedGreedy) rounds() int {
 	return s.Rounds
 }
 
+func (s ShardedGreedy) overlap() int {
+	if s.Overlap > 1 {
+		return s.Overlap
+	}
+	return 1
+}
+
 func (s ShardedGreedy) regionBudget(k int) time.Duration {
 	if s.ImproveBudget > 0 {
 		return s.ImproveBudget
@@ -143,10 +159,14 @@ func (s ShardedGreedy) SolveStats(g *tdg.Graph, topo *network.Topology, opts pla
 		return s.fallback(g, topo, opts, &st)
 	}
 
-	part, err := network.PartitionRegions(topo, k, s.seed())
-	if err != nil {
-		// Undersized or disconnected-for-k topologies solve whole-graph.
-		return s.fallback(g, topo, opts, &st)
+	part := s.Partition
+	if part == nil || part.NumRegions() != k || !partitionMatches(part, topo) {
+		var err error
+		part, err = network.PartitionRegions(topo, k, s.seed())
+		if err != nil {
+			// Undersized or disconnected-for-k topologies solve whole-graph.
+			return s.fallback(g, topo, opts, &st)
+		}
 	}
 	st.PartitionTime = time.Since(start)
 	st.BoundaryLinks = len(part.BoundaryLinks())
@@ -184,6 +204,30 @@ func (s ShardedGreedy) SolveStats(g *tdg.Graph, topo *network.Topology, opts pla
 	}
 	plan.SolveTime = time.Since(start)
 	return plan, st, nil
+}
+
+// partitionMatches reports whether a standing partition can be reused
+// for a solve over topo: same switch count and identical programmable
+// capacity per switch. Region solves build their sub-topologies from
+// the partition's stored topology, so a drained or re-specced clone
+// must re-partition — reusing the stale view would place MATs on
+// switches the solve topology no longer offers.
+func partitionMatches(part *network.Partition, topo *network.Topology) bool {
+	pt := part.Topology()
+	if pt.NumSwitches() != topo.NumSwitches() {
+		return false
+	}
+	for _, sw := range topo.Switches() {
+		psw, err := pt.Switch(sw.ID)
+		if err != nil {
+			return false
+		}
+		if psw.Programmable != sw.Programmable || psw.Stages != sw.Stages ||
+			psw.StageCapacity != sw.StageCapacity {
+			return false
+		}
+	}
+	return true
 }
 
 // fallback runs whole-graph Greedy with the caller's options.

@@ -21,7 +21,11 @@ type Options struct {
 	Solver placement.Solver
 	// Replan carries the ε bounds and churn knobs for supervised
 	// replans. Topology is overridden with the live topology on every
-	// redeploy; leave it nil.
+	// redeploy; leave it nil. When Replan.Shards > 1 and
+	// Replan.Partition is nil, New partitions the monitored topology
+	// once (deterministic, seed 1) and pins it here, so every
+	// supervised replan takes the region-local repair path instead of
+	// re-deriving regions per churn event.
 	Replan placement.ReplanOptions
 	// Analyze must be the analyzer options the workload is compiled
 	// with, so redeploys keep header layouts consistent.
@@ -96,6 +100,10 @@ type Stats struct {
 	Replans            int
 	IncrementalReplans int
 	FullReplans        int
+	// RegionalReplans counts the incremental replans that took the
+	// region-local repair path (a partition was pinned on the replan
+	// options; subset of IncrementalReplans).
+	RegionalReplans int
 	// ShedPrograms and RestoredPrograms count degradation events.
 	ShedPrograms     int
 	RestoredPrograms int
@@ -113,9 +121,12 @@ type PollResult struct {
 	// of the redeploy (the replan's displaced seed set).
 	DirtyMATs []string
 	// Replanned is true when a redeploy ran; UsedRepair marks the
-	// incremental path.
-	Replanned  bool
-	UsedRepair bool
+	// incremental path and UsedRegional the region-local repair within
+	// it (RegionsTouched lists the dirty regions it operated on).
+	Replanned      bool
+	UsedRepair     bool
+	UsedRegional   bool
+	RegionsTouched []int
 	// Shed and Restored list programs degraded or brought back this
 	// poll.
 	Shed     []string
@@ -164,6 +175,15 @@ func New(progs []*program.Program, topo *network.Topology, opts Options) (*Super
 		shed:  map[string]bool{},
 		opts:  opts,
 		mon:   mon,
+	}
+	// Sharded supervision: derive the region partition once from the
+	// monitored topology so churn-time replans heal region-locally.
+	// Partitioning failures (topology too small or disconnected for k)
+	// are not fatal — replans simply keep the whole-topology repair.
+	if s.opts.Replan.Partition == nil && s.opts.Replan.Shards > 1 {
+		if part, err := network.PartitionRegions(topo, s.opts.Replan.Shards, 1); err == nil {
+			s.opts.Replan.Partition = part
+		}
 	}
 	res := &PollResult{}
 	if err := s.rebuild(res); err != nil {
@@ -347,8 +367,13 @@ func (s *Supervisor) redeploy(res *PollResult, poll int) error {
 	if err == nil {
 		res.Replanned = true
 		res.UsedRepair = rrep.UsedRepair
+		res.UsedRegional = rrep.UsedRegional
+		res.RegionsTouched = rrep.RegionsTouched
 		if rrep.UsedRepair {
 			s.stats.IncrementalReplans++
+			if rrep.UsedRegional {
+				s.stats.RegionalReplans++
+			}
 		} else {
 			s.stats.FullReplans++
 		}
