@@ -21,13 +21,17 @@
 # interpreter at zero allocations per packet, and the region-replan
 # smoke gate proving churn heals through the region-local incremental
 # path >=10x faster than a sharded cold re-solve with bounded A_max
-# and matching equivalence verdicts.
+# and matching equivalence verdicts, and the rollout smoke gate
+# proving the transactional make-before-break rollout engine survives
+# faults injected at every op boundary with zero torn serving states,
+# exercises both terminals (commit and rollback), and resumes every
+# interrupted rollout from its journal.
 
 GO ?= go
 
-.PHONY: check lint vet fmt-check hermeslint build test race bench-smoke bench bench-json replan-smoke core-smoke chaos-smoke shard-smoke equiv-smoke traffic-smoke regionreplan-smoke bench-core-json bench-compare bench-survive-json bench-survive-compare bench-shard-json bench-shard-compare bench-equiv-json bench-equiv-compare bench-traffic-json bench-traffic-compare bench-regionreplan-json bench-regionreplan-compare profile
+.PHONY: check lint vet fmt-check hermeslint build test race bench-smoke bench bench-json replan-smoke core-smoke chaos-smoke shard-smoke equiv-smoke traffic-smoke regionreplan-smoke rollout-smoke bench-core-json bench-compare bench-survive-json bench-survive-compare bench-shard-json bench-shard-compare bench-equiv-json bench-equiv-compare bench-traffic-json bench-traffic-compare bench-regionreplan-json bench-regionreplan-compare bench-rollout-json bench-rollout-compare profile
 
-check: lint build race bench-smoke replan-smoke core-smoke chaos-smoke shard-smoke equiv-smoke traffic-smoke regionreplan-smoke
+check: lint build race bench-smoke replan-smoke core-smoke chaos-smoke shard-smoke equiv-smoke traffic-smoke regionreplan-smoke rollout-smoke
 
 # Static analysis gate: gofmt (no unformatted files), go vet, and the
 # repo-specific hermeslint pass (mutex/Clone conventions around the
@@ -194,6 +198,29 @@ bench-regionreplan-json:
 # skew and single-process GC jitter at millisecond scale).
 bench-regionreplan-compare:
 	$(GO) run ./cmd/hermes-bench -exp regionreplan -compare BENCH_regionreplan.json
+
+# Rollout smoke gate (Exp#12, smallest substrate): a fixed old→new
+# plan transition executed once per injection point, with a fault —
+# targeted crash, process interrupt with journal resume, or seeded
+# ambient event — landing at a rotating op boundary. Must report zero
+# torn-state violations, at least one commit and one rollback, and
+# every interrupted rollout resumed. Outcomes are a pure function of
+# the seed, so the gate holds on any machine.
+rollout-smoke:
+	$(GO) run ./cmd/hermes-bench -exp rollout -smoke
+
+# Regenerate the committed rollout fault baseline (BENCH_rollout.json
+# is what bench-rollout-compare diffs against).
+bench-rollout-json:
+	$(GO) run ./cmd/hermes-bench -exp rollout -json BENCH_rollout.json
+
+# Rollout regression gate: fails if the seed-determined structure
+# drifted from the committed BENCH_rollout.json — changed op count,
+# shifted commit/rollback/degrade partition, lost journal resumes,
+# changed retry totals, or any invariant violation. Wall-clock
+# latency is ignored (machine-dependent).
+bench-rollout-compare:
+	$(GO) run ./cmd/hermes-bench -exp rollout -compare BENCH_rollout.json
 
 # Regenerate the committed traffic baseline (run on a quiet machine;
 # BENCH_traffic.json is what bench-traffic-compare diffs against).

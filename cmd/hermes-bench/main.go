@@ -13,6 +13,7 @@
 //	hermes-bench -exp exp10   # region-sharded placement at scale
 //	hermes-bench -exp traffic # weighted objective + batched replay (Exp#9)
 //	hermes-bench -exp regionreplan # region-local replan under churn (Exp#11)
+//	hermes-bench -exp rollout # transactional rollout under faults (Exp#12)
 //	hermes-bench -exp all
 //
 // Exp#2–Exp#5 iterate the ten Table III WAN topologies with up to 50
@@ -33,7 +34,11 @@
 // and replay-twin gates. With -exp regionreplan, -json writes the
 // region-local replan baseline (BENCH_regionreplan.json); see
 // regionreplan.go for its zero-fallback/speedup/quality smoke gate and
-// the dual-condition compare gate.
+// the dual-condition compare gate. With -exp rollout, -json writes the
+// transactional-rollout fault baseline (BENCH_rollout.json); see
+// rollout.go for its torn-state smoke gate and the structural compare
+// gate that diffs seed-determined outcome counts while ignoring
+// latency.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the
 // selected experiments, for `go tool pprof` analysis of the solver hot
@@ -64,7 +69,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("hermes-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig2, exp1, exp2, exp3, exp4, exp5, exp6, exp7, exp8, exp10, regionreplan, core, equiv, traffic, all")
+	exp := fs.String("exp", "all", "experiment: fig2, exp1, exp2, exp3, exp4, exp5, exp6, exp7, exp8, exp10, regionreplan, rollout, core, equiv, traffic, all")
 	programs := fs.Int("programs", 50, "concurrent programs for exp2-4 and exp7")
 	deadline := fs.Duration("deadline", 3*time.Second, "per-instance solver deadline for exact/ILP solvers")
 	ilp := fs.Bool("ilp", true, "run the genuinely ILP-backed comparison frameworks")
@@ -73,7 +78,7 @@ func run(args []string) error {
 	csvDir := fs.String("csv", "", "also write CSV files into this directory")
 	jsonPath := fs.String("json", "", "write exp7's replan baseline (or -exp core's perf baseline) as JSON to this path")
 	comparePath := fs.String("compare", "", "with -exp core/equiv: diff against this committed baseline, failing on >10% ns/op regressions")
-	smoke := fs.Bool("smoke", false, "with -exp core/exp10/regionreplan/equiv: enforce the machine-independent in-run gates and skip the slow sweeps")
+	smoke := fs.Bool("smoke", false, "with -exp core/exp10/regionreplan/equiv/rollout: enforce the machine-independent in-run gates and skip the slow sweeps")
 	full := fs.Bool("full", false, "with -exp exp10/regionreplan: include the largest sweep point (minutes of runtime)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this path")
 	memProfile := fs.String("memprofile", "", "write a heap profile taken after the selected experiments to this path")
@@ -167,6 +172,8 @@ func (r *runner) run(exp string) error {
 		return r.equivBench()
 	case "traffic":
 		return r.trafficBench()
+	case "rollout":
+		return r.rolloutBench()
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

@@ -1,0 +1,215 @@
+// The "rollout" experiment (Exp#12) measures the transactional
+// make-before-break rollout engine under mid-flight faults, producing
+// the BENCH_rollout.json baseline:
+//
+//	hermes-bench -exp rollout -json BENCH_rollout.json    # (re)generate the baseline
+//	hermes-bench -exp rollout -compare BENCH_rollout.json # fail on structural drift
+//	hermes-bench -exp rollout -smoke                      # one topology, hard bounds
+//
+// Each topology row executes a fixed old→new plan transition once per
+// injection point: a fault (targeted crash, process interrupt with
+// journal resume, or seeded ambient schedule event) lands at a
+// rotating op boundary. Outcome counts are a pure function of the seed
+// (retry attempts are bounded and backoff sleeps are stubbed), so the
+// compare gate diffs them exactly and ignores wall-clock latency. The
+// smoke gate enforces the machine-independent hard bounds — zero
+// torn-state violations, both terminals exercised, every interrupt
+// resumed — on the smallest topology, cheap enough for `make check`.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/hermes-net/hermes/internal/experiments"
+)
+
+// rolloutSmokeLatencyMs is the absolute per-rollout latency ceiling
+// for -smoke: a rollout is a few dozen in-memory ops, so even a loaded
+// CI box sits orders of magnitude below.
+const rolloutSmokeLatencyMs = 5000.0
+
+// rolloutRowJSON is one topology row of the baseline.
+type rolloutRowJSON struct {
+	Topology   string  `json:"topology"`
+	Switches   int     `json:"switches"`
+	Ops        int     `json:"ops"`
+	Injections int     `json:"injections"`
+	Committed  int     `json:"committed"`
+	RolledBack int     `json:"rolled_back"`
+	Degraded   int     `json:"degraded"`
+	Resumed    int     `json:"resumed"`
+	Violations int     `json:"violations"`
+	Retries    int     `json:"retries"`
+	Rollback   float64 `json:"rollback_rate"`
+	CleanMs    float64 `json:"clean_ms"`
+	MaxMs      float64 `json:"max_ms"`
+	MeanMs     float64 `json:"mean_ms"`
+}
+
+// rolloutBaselineJSON is the BENCH_rollout.json document.
+type rolloutBaselineJSON struct {
+	Experiment string           `json:"experiment"`
+	Seed       int64            `json:"seed"`
+	Injections int              `json:"injections"`
+	Rows       []rolloutRowJSON `json:"rows"`
+}
+
+func (r *runner) rolloutBench() error {
+	mode := "baseline"
+	topologies := []string{"table3:1", "table3:2", "composite:2"}
+	if r.smoke {
+		mode = "smoke"
+		topologies = []string{"table3:1"}
+	} else if r.comparePath != "" {
+		mode = "compare"
+	}
+	fmt.Printf("## Exp#12: transactional rollout under mid-flight faults (%s)\n", mode)
+
+	res, err := experiments.Exp12(r.cfg, topologies, 33)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("  %-12s %-8s %-5s %-7s %-20s %-8s %-10s %-9s %-16s\n",
+		"topology", "switches", "ops", "inject", "commit/rollbk/degr", "resumed", "violations", "retries", "latency max/mean")
+	doc := rolloutBaselineJSON{Experiment: "exp12", Seed: r.cfg.Seed, Injections: 33}
+	csvRows := [][]string{{"topology", "switches", "ops", "injections", "committed", "rolled_back",
+		"degraded", "resumed", "violations", "retries", "rollback_rate", "clean_ms", "max_ms", "mean_ms"}}
+	for _, p := range res.Rows {
+		fmt.Printf("  %-12s %-8d %-5d %-7d %5d/%d/%-10d %-8d %-10d %-9d %.2f/%.2fms\n",
+			p.Topology, p.Switches, p.Ops, p.Injections, p.Committed, p.RolledBack, p.Degraded,
+			p.Resumed, p.Violations, p.Retries, p.MaxMs, p.MeanMs)
+		csvRows = append(csvRows, []string{
+			p.Topology, strconv.Itoa(p.Switches), strconv.Itoa(p.Ops), strconv.Itoa(p.Injections),
+			strconv.Itoa(p.Committed), strconv.Itoa(p.RolledBack), strconv.Itoa(p.Degraded),
+			strconv.Itoa(p.Resumed), strconv.Itoa(p.Violations), strconv.Itoa(p.Retries),
+			fmt.Sprintf("%.4f", p.RollbackRate),
+			fmt.Sprintf("%.3f", p.CleanMs), fmt.Sprintf("%.3f", p.MaxMs), fmt.Sprintf("%.3f", p.MeanMs),
+		})
+		doc.Rows = append(doc.Rows, rolloutRowJSON{
+			Topology: p.Topology, Switches: p.Switches, Ops: p.Ops, Injections: p.Injections,
+			Committed: p.Committed, RolledBack: p.RolledBack, Degraded: p.Degraded,
+			Resumed: p.Resumed, Violations: p.Violations, Retries: p.Retries,
+			Rollback: round3(p.RollbackRate),
+			CleanMs:  round3(p.CleanMs), MaxMs: round3(p.MaxMs), MeanMs: round3(p.MeanMs),
+		})
+	}
+	fmt.Println()
+
+	if r.smoke {
+		return rolloutSmokeGate(doc)
+	}
+	if r.comparePath != "" {
+		return rolloutCompareGate(r.comparePath, doc)
+	}
+	if r.jsonPath != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(r.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing rollout baseline: %w", err)
+		}
+		fmt.Printf("  rollout baseline written to %s\n\n", r.jsonPath)
+	}
+	return r.writeCSV("exp12.csv", csvRows)
+}
+
+// rolloutSmokeGate enforces the machine-independent hard bounds.
+func rolloutSmokeGate(doc rolloutBaselineJSON) error {
+	var failures []string
+	for _, row := range doc.Rows {
+		if row.Violations != 0 {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %d torn-state/invariant violations; want 0", row.Topology, row.Violations))
+		}
+		if row.Committed == 0 {
+			failures = append(failures, fmt.Sprintf("%s: no injection run committed", row.Topology))
+		}
+		if row.RolledBack == 0 {
+			failures = append(failures, fmt.Sprintf(
+				"%s: no injection run rolled back; the rollback path was never exercised", row.Topology))
+		}
+		if row.Resumed == 0 {
+			failures = append(failures, fmt.Sprintf("%s: no interrupted rollout resumed", row.Topology))
+		}
+		if row.Committed+row.RolledBack+row.Degraded != row.Injections {
+			failures = append(failures, fmt.Sprintf(
+				"%s: outcomes %d+%d+%d do not cover %d injections",
+				row.Topology, row.Committed, row.RolledBack, row.Degraded, row.Injections))
+		}
+		if row.MaxMs >= rolloutSmokeLatencyMs {
+			failures = append(failures, fmt.Sprintf(
+				"%s: max rollout latency %.1fms (bound %.0fms)", row.Topology, row.MaxMs, rolloutSmokeLatencyMs))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Println("  FAIL:", f)
+		}
+		return fmt.Errorf("rollout smoke gate failed (%d check(s))", len(failures))
+	}
+	fmt.Println("  rollout smoke gate passed: zero torn states, both terminals exercised, every interrupt resumed")
+	return nil
+}
+
+// rolloutCompareGate diffs the seed-determined structural fields
+// against the committed baseline; latency fields are ignored.
+func rolloutCompareGate(path string, cur rolloutBaselineJSON) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading rollout baseline: %w", err)
+	}
+	var base rolloutBaselineJSON
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing rollout baseline %s: %w", path, err)
+	}
+	byTopo := make(map[string]rolloutRowJSON, len(base.Rows))
+	for _, row := range base.Rows {
+		byTopo[row.Topology] = row
+	}
+	var failures []string
+	fmt.Printf("  %-12s %-20s %-14s %-12s\n", "topology", "commit/rollbk b->c", "resumed b->c", "ops b->c")
+	for _, row := range cur.Rows {
+		b, ok := byTopo[row.Topology]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("topology %s missing from baseline %s", row.Topology, path))
+			continue
+		}
+		fmt.Printf("  %-12s %3d/%d -> %3d/%-6d %3d -> %-7d %3d -> %d\n",
+			row.Topology, b.Committed, b.RolledBack, row.Committed, row.RolledBack,
+			b.Resumed, row.Resumed, b.Ops, row.Ops)
+		if row.Violations != 0 {
+			failures = append(failures, fmt.Sprintf("%s: %d invariant violations", row.Topology, row.Violations))
+		}
+		if row.Ops != b.Ops {
+			failures = append(failures, fmt.Sprintf(
+				"%s: clean rollout ops %d != baseline %d (plan transition changed shape)", row.Topology, row.Ops, b.Ops))
+		}
+		if row.Committed != b.Committed || row.RolledBack != b.RolledBack || row.Degraded != b.Degraded {
+			failures = append(failures, fmt.Sprintf(
+				"%s: outcomes %d/%d/%d != baseline %d/%d/%d",
+				row.Topology, row.Committed, row.RolledBack, row.Degraded, b.Committed, b.RolledBack, b.Degraded))
+		}
+		if row.Resumed != b.Resumed {
+			failures = append(failures, fmt.Sprintf(
+				"%s: resumed %d != baseline %d", row.Topology, row.Resumed, b.Resumed))
+		}
+		if row.Retries != b.Retries {
+			failures = append(failures, fmt.Sprintf(
+				"%s: retries %d != baseline %d", row.Topology, row.Retries, b.Retries))
+		}
+	}
+	fmt.Println()
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Println("  FAIL:", f)
+		}
+		return fmt.Errorf("rollout compare gate failed (%d drift(s))", len(failures))
+	}
+	fmt.Printf("  rollout compare gate passed: structural outcome matches %s\n", path)
+	return nil
+}

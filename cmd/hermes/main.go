@@ -79,6 +79,7 @@ func run(args []string) error {
 	savePlan := fs.String("save-plan", "", "write the first solver's plan as JSON to this path")
 	drainFlag := fs.String("drain", "", "comma-separated switch IDs to drain after the solve, exercising the replan path")
 	replanFlag := fs.String("replan", "auto", "replan strategy when -drain is set (auto, incremental, full)")
+	rolloutFlag := fs.Bool("rollout", false, "adopt the -drain replan via the transactional make-before-break rollout and print the staged phase report")
 	supervise := fs.Bool("supervise", false, "deploy under the fault-tolerant supervisor and drive -fault-schedule through it")
 	faultSchedule := fs.String("fault-schedule", "rand:10", "fault schedule for -supervise: rand:N[,SEED] or a schedule file path")
 	if err := fs.Parse(args); err != nil {
@@ -226,6 +227,29 @@ func run(args []string) error {
 				} else {
 					ropts.Partition = part
 				}
+			}
+			if *rolloutFlag {
+				// Replan + recompile, then adopt transactionally: stage
+				// the new epoch next to the old, flip program groups
+				// atomically, retire the old epoch — and print the
+				// staged phase report.
+				next, rep, err := hermes.Redeploy(res.Deployment, solver, ropts, hermes.AnalyzeOptions{}, drained...)
+				if err != nil {
+					fmt.Printf("         replan(%v) failed: %v\n", replanMode, err)
+					continue
+				}
+				fmt.Printf("         replan(%v) drained %v in %v: moved %d MATs, A_max %dB -> %dB\n",
+					replanMode, drained, rep.TotalTime, rep.MovedMATs, res.Plan.AMax(), next.Plan.AMax())
+				rrep, err := hermes.ExecuteRollout(res.Deployment, next, hermes.RolloutOptions{Topo: topo})
+				if rrep != nil {
+					for _, line := range strings.Split(strings.TrimRight(rrep.String(), "\n"), "\n") {
+						fmt.Println("         " + line)
+					}
+				}
+				if err != nil {
+					fmt.Printf("         rollout failed: %v\n", err)
+				}
+				continue
 			}
 			newPlan, rep, err := hermes.ReplanWithOptions(res.Plan, solver, ropts, drained...)
 			if err != nil {

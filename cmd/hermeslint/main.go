@@ -28,6 +28,13 @@
 //	       when recycling matters most (a deferred Put, or a
 //	       Get whose buffer ownership leaves the function —
 //	       no Put at all — stays legal)                      error
+//	HV008  a direct Controller.Rebind() call outside
+//	       internal/deploy/ — bare rebinds swap the serving
+//	       plan non-transactionally, skipping the
+//	       make-before-break rollout engine's staging,
+//	       journaling, and rollback; adopt plans through
+//	       rollout.New(...).Execute() (or the supervisor,
+//	       which does) instead                               error
 //
 // It is deliberately x/tools-free: the analysis is a plain go/parser +
 // go/ast walk so it builds in hermetic environments with no module
@@ -141,7 +148,41 @@ func lintGoSource(path, src string) ([]vetFinding, error) {
 		return true
 	})
 	out = append(out, lintHotLoops(fset, file)...)
+	out = append(out, lintRebind(fset, file, path)...)
 	return out, nil
+}
+
+// lintRebind applies HV008: any method call named Rebind in a file
+// outside internal/deploy/ bypasses the transactional rollout engine.
+// The deploy tree (the engine itself, the controller, and their tests)
+// is the only sanctioned call surface; everything else — supervisor,
+// CLIs, experiments — must adopt plans through a rollout so that
+// staging, journaling, and automatic rollback stay in the loop.
+// Matching is syntactic like the rest of this tool; the method name is
+// specific enough that false positives are effectively zero here.
+func lintRebind(fset *token.FileSet, file *ast.File, path string) []vetFinding {
+	slashed := filepath.ToSlash(path)
+	if strings.Contains(slashed, "internal/deploy/") {
+		return nil
+	}
+	var out []vetFinding
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Rebind" {
+			return true
+		}
+		out = append(out, vetFinding{
+			pos: fset.Position(call.Pos()), rule: "HV008", sev: "error",
+			msg: fmt.Sprintf("%s.Rebind() outside internal/deploy/ swaps the serving plan non-transactionally; adopt the plan through the make-before-break rollout engine (rollout.New(...).Execute()) instead",
+				renderExpr(sel.X)),
+		})
+		return true
+	})
+	return out
 }
 
 // hotFunc reports whether a function carries the //hermes:hot tag — on

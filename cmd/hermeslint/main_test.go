@@ -412,6 +412,39 @@ func (p *pipe) bad(fail bool) error {
 	}
 }
 
+func TestRebindOutsideDeploy(t *testing.T) {
+	// lintSnippet parses under the path "snippet.go", which is outside
+	// internal/deploy/ — the bare rebind must be flagged.
+	fs := lintSnippet(t, `
+type ctl struct{}
+func (c *ctl) Rebind(v any) error { return nil }
+func bad(c *ctl) error { return c.Rebind(nil) }
+`)
+	if got := rulesOf(fs); len(got) != 1 || got[0] != "HV008" {
+		t.Fatalf("want [HV008], got %v", fs)
+	}
+	if fs[0].sev != "error" || !strings.Contains(fs[0].msg, "c.Rebind()") {
+		t.Fatalf("finding must be an error naming the receiver chain: %v", fs[0])
+	}
+}
+
+func TestRebindInsideDeployIsSanctioned(t *testing.T) {
+	// The rollout engine (and the deploy tree generally) is the one
+	// place allowed to touch the controller directly.
+	src := `package rollout
+type ctl struct{}
+func (c *ctl) Rebind(v any) error { return nil }
+func flip(c *ctl) error { return c.Rebind(nil) }
+`
+	fs, err := lintGoSource("internal/deploy/rollout/rollout.go", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("want no findings under internal/deploy/, got %v", fs)
+	}
+}
+
 // The repository itself must stay free of error-severity findings:
 // `make check` gates on the binary's exit status, and this test keeps
 // the guarantee visible from `go test ./...` alone.

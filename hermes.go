@@ -32,6 +32,7 @@ import (
 	"github.com/hermes-net/hermes/internal/baseline"
 	"github.com/hermes-net/hermes/internal/dataplane"
 	"github.com/hermes-net/hermes/internal/deploy"
+	"github.com/hermes-net/hermes/internal/deploy/rollout"
 	"github.com/hermes-net/hermes/internal/e2esim"
 	"github.com/hermes-net/hermes/internal/equiv"
 	"github.com/hermes-net/hermes/internal/fields"
@@ -340,6 +341,22 @@ type DeployOptions struct {
 	// Ctx cancels the placement solve when done; nil means not
 	// cancelable.
 	Ctx context.Context
+	// Prior, when non-nil, is the deployment currently serving traffic.
+	// Deploy then adopts the new deployment via the transactional
+	// make-before-break rollout engine instead of assuming a cold
+	// start: new configs are staged next to the old epoch, program
+	// groups flip atomically, and the old epoch is retired only after
+	// every group committed. Result.Rollout carries the staged report;
+	// a mid-rollout failure restores Prior and Deploy returns an error
+	// wrapping ErrRolledBack.
+	Prior *Deployment
+	// PriorEpoch is Prior's epoch token (0 means 1). Ignored when
+	// Prior is nil.
+	PriorEpoch uint64
+	// RolloutRetry bounds per-op attempts during the rollout; the zero
+	// policy gets the rollout defaults (3 attempts, 2ms backoff).
+	// Ignored when Prior is nil.
+	RolloutRetry RetryPolicy
 }
 
 // Result is the outcome of Deploy.
@@ -350,6 +367,9 @@ type Result struct {
 	Plan *Plan
 	// Deployment is the compiled per-switch configuration.
 	Deployment *Deployment
+	// Rollout reports the transactional adoption when
+	// DeployOptions.Prior was set; nil otherwise.
+	Rollout *RolloutReport
 }
 
 // Deploy runs the full Hermes pipeline: analyze → place → compile.
@@ -399,7 +419,24 @@ func Deploy(progs []*Program, topo *Topology, opts DeployOptions) (*Result, erro
 			return nil, fmt.Errorf("hermes: %w", err)
 		}
 	}
-	return &Result{TDG: g, Plan: plan, Deployment: dep}, nil
+	res := &Result{TDG: g, Plan: plan, Deployment: dep}
+	if opts.Prior != nil {
+		r, err := rollout.New(opts.Prior, dep, RolloutOptions{
+			Topo:      topo,
+			Ctx:       opts.Ctx,
+			Retry:     opts.RolloutRetry,
+			FromEpoch: opts.PriorEpoch,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("hermes: %w", err)
+		}
+		rep, err := r.Execute()
+		res.Rollout = rep
+		if err != nil {
+			return res, fmt.Errorf("hermes: %w", err)
+		}
+	}
+	return res, nil
 }
 
 // Simulation.
@@ -612,6 +649,73 @@ type (
 // ErrSwitchDown marks rule operations that failed because the hosting
 // switch is down; it is the only error the controller retries.
 var ErrSwitchDown = deploy.ErrSwitchDown
+
+// Transactional rollout (make-before-break plan adoption).
+type (
+	// Rollout is one prepared old→new transactional transition: new
+	// configs staged under a fresh epoch, per-program atomic flips,
+	// journaled ops with automatic rollback to the last-good plan.
+	Rollout = rollout.Rollout
+	// RolloutOptions configure one rollout (live topology, retry
+	// policy, fabric, resume journal, op hook).
+	RolloutOptions = rollout.Options
+	// RolloutReport is the staged record of one rollout execution
+	// (stable JSON field names; String renders the CLI output).
+	RolloutReport = rollout.Report
+	// RolloutJournal is the durable op-by-op record that lets an
+	// interrupted rollout resume or roll back after a crash.
+	RolloutJournal = rollout.Journal
+	// RolloutFabric abstracts the switch config store rollout ops are
+	// applied to.
+	RolloutFabric = rollout.Fabric
+	// RolloutMemFabric is the in-memory fabric tracking per-switch
+	// installed epochs against a live topology's fault overlay.
+	RolloutMemFabric = rollout.MemFabric
+	// RolloutHook observes every rollout op boundary (fault injection
+	// in chaos tests, progress reporting in tools).
+	RolloutHook = rollout.Hook
+	// ServingView is the rollout's live program→epoch serving state.
+	ServingView = rollout.ServingView
+)
+
+// ErrRolledBack marks a rollout that could not complete and restored
+// the last-good plan; the wrapped cause names the op that failed.
+var ErrRolledBack = rollout.ErrRolledBack
+
+// Rollout outcomes (RolloutReport.Outcome).
+const (
+	RolloutCommitted   = rollout.OutcomeCommitted
+	RolloutRolledBack  = rollout.OutcomeRolledBack
+	RolloutInterrupted = rollout.OutcomeInterrupted
+	RolloutDegraded    = rollout.OutcomeDegraded
+)
+
+// NewRollout diffs old → next and prepares (or, with opts.Journal,
+// resumes) a transactional make-before-break rollout between them.
+func NewRollout(old, next *Deployment, opts RolloutOptions) (*Rollout, error) {
+	return rollout.New(old, next, opts)
+}
+
+// ExecuteRollout is the one-shot path: prepare and run a rollout from
+// old to next over the live topology, returning the staged report.
+func ExecuteRollout(old, next *Deployment, opts RolloutOptions) (*RolloutReport, error) {
+	r, err := rollout.New(old, next, opts)
+	if err != nil {
+		return nil, err
+	}
+	return r.Execute()
+}
+
+// NewRolloutFabric builds an in-memory rollout fabric over topo.
+func NewRolloutFabric(topo *Topology) *RolloutMemFabric {
+	return rollout.NewMemFabric(topo)
+}
+
+// ParseRolloutJournal reads a journal's text form (Journal.Format)
+// back for resume after an interrupted rollout.
+func ParseRolloutJournal(text string) (*RolloutJournal, error) {
+	return rollout.ParseJournal(text)
+}
 
 // GenerateFaultSchedule produces a deterministic fault schedule for a
 // topology: crashes, link cuts, flapping, and correlated regional

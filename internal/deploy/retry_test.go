@@ -1,6 +1,7 @@
 package deploy
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -168,6 +169,105 @@ func TestControllerRetryOnDownSwitch(t *testing.T) {
 	}
 	if calls != 0 {
 		t.Errorf("non-retryable error slept %d times", calls)
+	}
+}
+
+// TestRetryBackoffCancellable is the blocking-sleep regression: a
+// retry loop parked in a long backoff must return as soon as the
+// policy's context is done instead of sleeping out the full wait.
+func TestRetryBackoffCancellable(t *testing.T) {
+	dep, plan := compiled(t)
+	ctl, err := NewController(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, _ := ctl.HostingSwitch("p/count")
+	if err := plan.Topo.SetSwitchDown(host); err != nil {
+		t.Fatal(err)
+	}
+	rule := program.Rule{
+		Matches: map[string]program.Pattern{"meta.idx": {Value: 7}},
+		Action:  "c",
+	}
+
+	// Pre-cancelled context: the first failed attempt would enter a
+	// 10-second backoff; cancellation must cut it to ~nothing.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ctl.SetRetryPolicy(RetryPolicy{Attempts: 5, Backoff: 10 * time.Second, Ctx: ctx})
+	start := time.Now()
+	err = ctl.InstallRule("p/count", rule)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled retry blocked %v, want immediate return", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled retry = %v, want context.Canceled", err)
+	}
+
+	// A deadline fires mid-sleep and interrupts the timer itself.
+	dctx, dcancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer dcancel()
+	ctl.SetRetryPolicy(RetryPolicy{Attempts: 5, Backoff: 10 * time.Second, Ctx: dctx})
+	start = time.Now()
+	err = ctl.InstallRule("p/count", rule)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline retry blocked %v, want ~20ms", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline retry = %v, want context.DeadlineExceeded", err)
+	}
+
+	// A live context leaves retry semantics untouched: heal during the
+	// first backoff — via the Sleep hook, which runs on the retry
+	// goroutine (the fault overlay is caller-serialized) — and the
+	// second attempt succeeds.
+	lctx, lcancel := context.WithCancel(context.Background())
+	defer lcancel()
+	healed := false
+	ctl.SetRetryPolicy(RetryPolicy{Attempts: 3, Backoff: time.Millisecond, Ctx: lctx,
+		Sleep: func(time.Duration) {
+			if !healed {
+				healed = true
+				if err := plan.Topo.SetSwitchUp(host); err != nil {
+					t.Error(err)
+				}
+			}
+		}})
+	if err = ctl.InstallRule("p/count", rule); err != nil {
+		t.Fatalf("install after mid-backoff heal = %v, want success", err)
+	}
+	if !healed {
+		t.Fatal("retry succeeded without ever entering the backoff")
+	}
+}
+
+// TestRebindRejectsInvalidPlan: Rebind must refuse a deployment whose
+// plan no longer validates against the live fault overlay, not just a
+// nil one — binding it would route rule ops to dead switches the
+// gates already know about.
+func TestRebindRejectsInvalidPlan(t *testing.T) {
+	dep, plan := compiled3(t)
+	ctl, err := NewController(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, _ := dep.Plan.SwitchOf("p/count")
+	if err := plan.Topo.SetSwitchDown(host); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Rebind(dep); err == nil {
+		t.Fatal("rebind accepted a plan hosting MATs on a down switch")
+	}
+	// The stale binding survives a rejected rebind untouched, and a
+	// heal makes the same deployment acceptable again.
+	if got, _ := ctl.HostingSwitch("p/count"); got != host {
+		t.Errorf("rejected rebind changed binding to %d", got)
+	}
+	if err := plan.Topo.SetSwitchUp(host); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Rebind(dep); err != nil {
+		t.Errorf("rebind after heal = %v", err)
 	}
 }
 

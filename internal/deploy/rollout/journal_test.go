@@ -1,0 +1,149 @@
+package rollout
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func sampleJournal() *Journal {
+	j := &Journal{From: 1, To: 2, Fingerprint: 0xab54a98ceb1f0ad2}
+	j.Entries = []*Entry{
+		{Op: Op{Seq: 0, Kind: OpPrepare, Switch: 3, Epoch: 2}, Status: StatusDone, Attempts: 1},
+		{Op: Op{Seq: 1, Kind: OpPrepare, Switch: 7, Epoch: 2}, Status: StatusFailed, Attempts: 3},
+		{Op: Op{Seq: 2, Kind: OpCommit, Group: "p one", Epoch: 2}, Status: StatusDone, Attempts: 1},
+		{Op: Op{Seq: 3, Kind: OpCommit, Group: "p2", Epoch: 0}, Status: StatusPending},
+		{Op: Op{Seq: 4, Kind: OpRetire, Switch: 3, Epoch: 1}, Status: StatusPending},
+		{Op: Op{Seq: 5, Kind: OpCommit, Group: "p one", Epoch: 1}, Status: StatusDone, Attempts: 2},
+		{Op: Op{Seq: 6, Kind: OpAbort, Switch: 3, Epoch: 2}, Status: StatusDone, Attempts: 1},
+	}
+	return j
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	j := sampleJournal()
+	text := j.Format()
+	back, err := ParseJournal(text)
+	if err != nil {
+		t.Fatalf("ParseJournal: %v\n%s", err, text)
+	}
+	if back.From != j.From || back.To != j.To || back.Fingerprint != j.Fingerprint {
+		t.Fatalf("header = %d/%d/%x, want %d/%d/%x", back.From, back.To, back.Fingerprint, j.From, j.To, j.Fingerprint)
+	}
+	if len(back.Entries) != len(j.Entries) {
+		t.Fatalf("entries = %d, want %d", len(back.Entries), len(j.Entries))
+	}
+	for i, e := range back.Entries {
+		w := j.Entries[i]
+		if !sameOp(e.Op, w.Op) || e.Status != w.Status || e.Attempts != w.Attempts {
+			t.Errorf("entry %d = %+v, want %+v", i, e, w)
+		}
+	}
+	if back.Format() != text {
+		t.Error("Format is not a fixpoint after parse")
+	}
+}
+
+func TestJournalParseRejectsMalformed(t *testing.T) {
+	good := sampleJournal().Format()
+	lines := strings.Split(strings.TrimRight(good, "\n"), "\n")
+	cases := map[string]string{
+		"empty":            "",
+		"bad header tag":   strings.Replace(good, "rollout ", "rollback ", 1),
+		"missing header":   strings.Join(lines[1:], "\n") + "\n",
+		"equal epochs":     "rollout from=1 to=1 fingerprint=0000000000000001\n",
+		"bad fingerprint":  "rollout from=1 to=2 fingerprint=zz\n",
+		"short line":       good + "7 prepare sw=1\n",
+		"unknown kind":     good + "7 merge sw=1 epoch=2 done attempts=1\n",
+		"unknown status":   good + "7 prepare sw=1 epoch=2 maybe attempts=1\n",
+		"unquoted group":   good + "7 commit p9 epoch=2 done attempts=1\n",
+		"empty group":      good + "7 commit \"\" epoch=2 done attempts=1\n",
+		"negative seq":     good + "-1 prepare sw=1 epoch=2 done attempts=1\n",
+		"out of order seq": good + "3 prepare sw=1 epoch=2 done attempts=1\n",
+		"bad switch":       good + "7 prepare sw=x epoch=2 done attempts=1\n",
+		"bad attempts":     good + "7 prepare sw=1 epoch=2 done attempts=x\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseJournal(text); err == nil {
+			t.Errorf("%s: accepted\n%s", name, text)
+		}
+	}
+}
+
+// chaosSeedJournals runs two small faulted rollouts — one interrupted
+// mid-commit, one rolled back from a commit failure — and returns
+// their journals, so the fuzz corpus starts from states a real chaos
+// run produces (pending tails, failed entries, rollback ops).
+func chaosSeedJournals(f *testing.F) []string {
+	old, topo := fixture(f, 3, 6)
+	next, _ := drained(f, old, "p3")
+	var out []string
+
+	fab := NewMemFabric(topo)
+	fab.Bootstrap(old, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	r, err := New(old, next, Options{Topo: topo, Fabric: fab, Ctx: ctx, Retry: quickRetry(),
+		Hook: func(phase string, op Op, view *ServingView) {
+			if phase == "commit" && op.Group == "p2" {
+				cancel()
+			}
+		}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := r.Execute(); !errors.Is(err, ErrInterrupted) {
+		f.Fatalf("seed rollout = %v, want interrupt", err)
+	}
+	out = append(out, r.Journal().Format())
+
+	topo2 := topo.Clone()
+	fab2 := NewMemFabric(topo2)
+	fab2.Bootstrap(old, 1)
+	newHost, _ := next.Plan.SwitchOf("p3/count")
+	r2, err := New(old, next, Options{Topo: topo2, Fabric: fab2, Retry: quickRetry(),
+		Hook: func(phase string, op Op, view *ServingView) {
+			if phase == "commit" && op.Group == "p3" {
+				if err := topo2.SetSwitchDown(newHost); err != nil {
+					f.Fatal(err)
+				}
+			}
+		}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := r2.Execute(); err == nil {
+		f.Fatal("seed rollback rollout unexpectedly committed")
+	}
+	out = append(out, r2.Journal().Format())
+	return out
+}
+
+// FuzzParseJournal: anything ParseJournal accepts must re-format to a
+// fixpoint (Format∘Parse = id on the parsed form), and parsing must
+// never panic. Seeds include real chaos-run journal shapes.
+func FuzzParseJournal(f *testing.F) {
+	for _, text := range chaosSeedJournals(f) {
+		f.Add(text)
+	}
+	f.Add(sampleJournal().Format())
+	f.Add("rollout from=1 to=2 fingerprint=0000000000000000\n")
+	f.Add("rollout from=3 to=4 fingerprint=ffffffffffffffff\n0 prepare sw=0 epoch=4 pending attempts=0\n")
+	f.Add("rollout from=1 to=2 fingerprint=0123456789abcdef\n0 commit \"p\\\"x\" epoch=0 done attempts=9\n")
+	f.Add("rollout from=1 to=2\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, text string) {
+		j, err := ParseJournal(text)
+		if err != nil {
+			return
+		}
+		out := j.Format()
+		back, err := ParseJournal(out)
+		if err != nil {
+			t.Fatalf("reparse of own Format failed: %v\n%s", err, out)
+		}
+		if back.Format() != out {
+			t.Fatalf("Format not a fixpoint:\n%s\nvs\n%s", out, back.Format())
+		}
+	})
+}

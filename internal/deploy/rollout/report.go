@@ -1,0 +1,91 @@
+package rollout
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/hermes-net/hermes/internal/network"
+)
+
+// Rollout outcomes. Committed and rolled-back are the two clean
+// terminals; interrupted means the journal must be resumed; degraded
+// means a rollback was impeded and one or more groups were left
+// serving whichever epoch was still viable (quarantine-and-degrade).
+const (
+	OutcomeCommitted   = "committed"
+	OutcomeRolledBack  = "rolled-back"
+	OutcomeInterrupted = "interrupted"
+	OutcomeDegraded    = "degraded"
+)
+
+// PhaseReport summarizes one rollout phase's op traffic.
+type PhaseReport struct {
+	Name     string  `json:"phase"`
+	Ops      int     `json:"ops"`
+	Retries  int     `json:"retries"`
+	Failures int     `json:"failures"`
+	Ms       float64 `json:"ms"`
+}
+
+// Report is the observable record of one Execute call. Field names
+// are stable JSON identifiers consumed by the CLI, the supervisor's
+// poll results, and Exp#12.
+type Report struct {
+	FromEpoch uint64 `json:"from_epoch"`
+	ToEpoch   uint64 `json:"to_epoch"`
+	// Outcome is one of the Outcome* constants.
+	Outcome string `json:"outcome"`
+	// Resumed marks an Execute that continued a prior journal.
+	Resumed bool `json:"resumed"`
+
+	Groups          int `json:"groups"`
+	CommittedGroups int `json:"committed_groups"`
+	// PreparedSwitches counts switches staged with the new epoch;
+	// UnchangedSwitches of those carry a config identical to their old
+	// one (the diff is informational — staging is still uniform).
+	PreparedSwitches  int `json:"prepared_switches"`
+	UnchangedSwitches int `json:"unchanged_switches"`
+	RetiredSwitches   int `json:"retired_switches"`
+
+	Ops     int `json:"ops"`
+	Retries int `json:"retries"`
+
+	// RolledBackSwitches had their staged config aborted during
+	// rollback; QuarantinedSwitches failed even that (or failed
+	// retire) and keep stale state a later sweep must reclaim;
+	// DegradedGroups could not be flipped back and serve the epoch
+	// that remained viable.
+	RolledBackSwitches  []network.SwitchID `json:"rolled_back_switches,omitempty"`
+	QuarantinedSwitches []network.SwitchID `json:"quarantined_switches,omitempty"`
+	DegradedGroups      []string           `json:"degraded_groups,omitempty"`
+
+	Phases  []PhaseReport `json:"phases"`
+	TotalMs float64       `json:"total_ms"`
+}
+
+// String renders the staged CLI output: one line per phase plus the
+// terminal outcome.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rollout epoch %d -> %d: %d groups, %d switches to prepare (%d unchanged), %d to retire\n",
+		r.FromEpoch, r.ToEpoch, r.Groups, r.PreparedSwitches, r.UnchangedSwitches, r.RetiredSwitches)
+	for _, ph := range r.Phases {
+		fmt.Fprintf(&b, "  phase %-7s %3d ops, %d retries, %d failures (%.2f ms)\n",
+			ph.Name, ph.Ops, ph.Retries, ph.Failures, ph.Ms)
+	}
+	fmt.Fprintf(&b, "rollout %s: %d/%d groups committed", r.Outcome, r.CommittedGroups, r.Groups)
+	if len(r.RolledBackSwitches) > 0 {
+		fmt.Fprintf(&b, ", %d switches rolled back", len(r.RolledBackSwitches))
+	}
+	if len(r.QuarantinedSwitches) > 0 {
+		fmt.Fprintf(&b, ", %d quarantined", len(r.QuarantinedSwitches))
+	}
+	if len(r.DegradedGroups) > 0 {
+		fmt.Fprintf(&b, ", %d degraded groups", len(r.DegradedGroups))
+	}
+	if r.Resumed {
+		b.WriteString(", resumed")
+	}
+	b.WriteString("\n")
+	return b.String()
+}

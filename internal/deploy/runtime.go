@@ -1,6 +1,7 @@
 package deploy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -27,8 +28,45 @@ type RetryPolicy struct {
 	// Backoff is the wait before the first retry, doubling on each
 	// subsequent one; zero or negative means 10ms.
 	Backoff time.Duration
-	// Sleep replaces time.Sleep in tests; nil means time.Sleep.
+	// Ctx, when non-nil, makes backoff sleeps cancellable: once the
+	// context is done the retry loop stops waiting and returns the
+	// context's error (wrapping the last op failure) instead of
+	// blocking out the full backoff. nil means sleeps run to term.
+	Ctx context.Context
+	// Sleep replaces the backoff wait in tests; nil means a timer
+	// honoring Ctx.
 	Sleep func(time.Duration)
+}
+
+// Wait blocks for d or until the policy's context is done, whichever
+// comes first, returning the context error in the latter case. A
+// custom Sleep hook takes precedence (tests inject virtual time) but
+// an already-cancelled context still short-circuits it. Retry loops —
+// the controller's rule ops and the rollout engine's op batches — use
+// this instead of time.Sleep so cancellation cuts backoff short.
+func (p RetryPolicy) Wait(d time.Duration) error {
+	ctx := p.Ctx
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return nil
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Controller is the runtime side of the backend (paper §VI-A: "at
@@ -66,9 +104,19 @@ func hostsOf(dep *Deployment) map[string]network.SwitchID {
 // dep and the MAT→switch host map swap under one lock acquisition, so
 // rule installs issued after a supervised redeploy route to the new
 // hosting switches instead of the stale precomputed ones.
+//
+// The target must still validate against its (fault-overlaid)
+// topology: a plan whose hosting switches died or whose routes broke
+// between solve and adoption is rejected rather than bound, so the
+// controller never serves rule ops from a deployment the gates would
+// fail. Prefer adopting through rollout.Execute, which stages the swap
+// make-before-break; a bare Rebind is the engine's final flip.
 func (c *Controller) Rebind(dep *Deployment) error {
 	if dep == nil || dep.Plan == nil {
 		return fmt.Errorf("deploy: rebind to nil deployment")
+	}
+	if err := dep.Plan.Validate(program.DefaultResourceModel, 0, 0); err != nil {
+		return fmt.Errorf("deploy: rebind rejected, plan invalid against live topology: %w", err)
 	}
 	hosts := hostsOf(dep)
 	c.mu.Lock()
@@ -89,7 +137,9 @@ func (c *Controller) SetRetryPolicy(p RetryPolicy) {
 
 // withRetry runs op, retrying ErrSwitchDown failures under the policy
 // with exponential backoff. Each attempt re-reads controller state, so
-// a Rebind (or heal) between attempts resolves the outage.
+// a Rebind (or heal) between attempts resolves the outage. A done
+// policy context cuts the backoff short and surfaces both the
+// cancellation and the last op failure.
 func (c *Controller) withRetry(op func() error) error {
 	c.mu.Lock()
 	pol := c.retry
@@ -102,14 +152,12 @@ func (c *Controller) withRetry(op func() error) error {
 	if backoff <= 0 {
 		backoff = 10 * time.Millisecond
 	}
-	sleep := pol.Sleep
-	if sleep == nil {
-		sleep = time.Sleep
-	}
 	var err error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			sleep(backoff)
+			if werr := pol.Wait(backoff); werr != nil {
+				return fmt.Errorf("deploy: retry cancelled: %w (last failure: %v)", werr, err)
+			}
 			backoff *= 2
 		}
 		err = op()

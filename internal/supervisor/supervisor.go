@@ -2,11 +2,13 @@ package supervisor
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"github.com/hermes-net/hermes/internal/analyzer"
 	"github.com/hermes-net/hermes/internal/deploy"
+	"github.com/hermes-net/hermes/internal/deploy/rollout"
 	"github.com/hermes-net/hermes/internal/network"
 	"github.com/hermes-net/hermes/internal/placement"
 	"github.com/hermes-net/hermes/internal/program"
@@ -45,6 +47,13 @@ type Options struct {
 	Equiv bool
 	// Retry configures the controller's rule-op retry policy.
 	Retry deploy.RetryPolicy
+	// RolloutRetry bounds per-op attempts for the transactional
+	// rollouts that adopt repaired deployments; the zero policy gets
+	// the rollout defaults (3 attempts, 2ms backoff).
+	RolloutRetry deploy.RetryPolicy
+	// RolloutHook observes every rollout op boundary (chaos injection
+	// in tests, progress reporting in tools).
+	RolloutHook rollout.Hook
 }
 
 func (o Options) solver() placement.Solver {
@@ -110,6 +119,12 @@ type Stats struct {
 	// FailedPolls counts polls that left the deployment broken (no
 	// feasible plan even after shedding to the floor).
 	FailedPolls int
+	// Rollouts counts transactional adoption attempts;
+	// RolledBackRollouts of them failed mid-flight and restored the
+	// last-good plan (the supervisor stays on it and retries next
+	// poll).
+	Rollouts           int
+	RolledBackRollouts int
 }
 
 // PollResult describes what one poll did.
@@ -134,6 +149,9 @@ type PollResult struct {
 	// RecoveryTime is the wall clock spent replanning, rebuilding,
 	// compiling, and verifying this poll.
 	RecoveryTime time.Duration
+	// Rollout is the report of the last transactional adoption this
+	// poll ran (nil when nothing was adopted make-before-break).
+	Rollout *rollout.Report
 }
 
 // Supervisor owns a deployment and keeps it consistent with the live
@@ -149,6 +167,8 @@ type Supervisor struct {
 	mon   *Monitor
 	dep   *deploy.Deployment
 	ctrl  *deploy.Controller
+	fab   *rollout.MemFabric
+	epoch uint64
 	rep   DegradationReport
 	stats Stats
 }
@@ -197,8 +217,21 @@ func New(progs []*program.Program, topo *network.Topology, opts Options) (*Super
 	}
 	ctrl.SetRetryPolicy(opts.Retry)
 	s.ctrl = ctrl
+	// All later adoptions are transactional make-before-break; the
+	// fabric tracks which epoch each switch has installed, starting
+	// from the initial deployment at epoch 1.
+	s.epoch = 1
+	s.fab = rollout.NewMemFabric(topo)
+	s.fab.Bootstrap(s.dep, s.epoch)
 	return s, nil
 }
+
+// Epoch returns the serving deployment's epoch token.
+func (s *Supervisor) Epoch() uint64 { return s.epoch }
+
+// Fabric returns the rollout fabric tracking per-switch installed
+// epochs across supervised adoptions.
+func (s *Supervisor) Fabric() *rollout.MemFabric { return s.fab }
 
 // Deployment returns the live deployment.
 func (s *Supervisor) Deployment() *deploy.Deployment { return s.dep }
@@ -377,7 +410,7 @@ func (s *Supervisor) redeploy(res *PollResult, poll int) error {
 		} else {
 			s.stats.FullReplans++
 		}
-		return s.adopt(next)
+		return s.adopt(res, next)
 	}
 	// No feasible plan for the full active set: degrade.
 	return s.shedUntilFit(res, poll, err)
@@ -467,15 +500,47 @@ func (s *Supervisor) rebuild(res *PollResult) error {
 		res.Replanned = true
 		s.stats.FullReplans++
 	}
-	return s.adopt(dep)
+	return s.adopt(res, dep)
 }
 
-// adopt swaps in a new deployment and rebinds the controller so rule
-// operations route to the new hosting switches.
-func (s *Supervisor) adopt(dep *deploy.Deployment) error {
-	s.dep = dep
-	if s.ctrl != nil {
-		return s.ctrl.Rebind(dep)
+// adopt swaps in a new deployment. The initial build (no controller
+// yet) binds directly — nothing is serving. Every later adoption runs
+// the transactional make-before-break rollout: the new configs are
+// staged under a fresh epoch, program groups flip atomically, the
+// controller is rebound by the engine after every group committed,
+// and only then is the old epoch retired. A failed rollout restores
+// the last-good plan (or degrades without tearing) and the supervisor
+// keeps serving it; the next poll retries.
+func (s *Supervisor) adopt(res *PollResult, dep *deploy.Deployment) error {
+	if s.ctrl == nil || s.dep == nil {
+		s.dep = dep
+		return nil
 	}
+	r, err := rollout.New(s.dep, dep, rollout.Options{
+		Topo:      s.topo,
+		Ctx:       s.opts.Ctx,
+		Retry:     s.opts.RolloutRetry,
+		Fabric:    s.fab,
+		Ctrl:      s.ctrl,
+		FromEpoch: s.epoch,
+		Equiv:     s.opts.Equiv,
+		Hook:      s.opts.RolloutHook,
+	})
+	if err != nil {
+		return err
+	}
+	s.stats.Rollouts++
+	rep, err := r.Execute()
+	if res != nil {
+		res.Rollout = rep
+	}
+	if err != nil {
+		if errors.Is(err, rollout.ErrRolledBack) {
+			s.stats.RolledBackRollouts++
+		}
+		return fmt.Errorf("supervisor: adopt: %w", err)
+	}
+	s.dep = dep
+	s.epoch = rep.ToEpoch
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/hermes-net/hermes/internal/deploy/rollout"
 	"github.com/hermes-net/hermes/internal/network"
 	"github.com/hermes-net/hermes/internal/program"
 	"github.com/hermes-net/hermes/internal/workload"
@@ -285,4 +286,111 @@ func TestGracefulDegradationAndRestore(t *testing.T) {
 		t.Errorf("RestoredPrograms = %d, want %d", got, k)
 	}
 	requireHealthy(t, sup)
+}
+
+// TestSupervisorFaultDuringRollout is the reentry check: a second
+// fault lands while a repair adoption is mid-rollout. The rollout must
+// fail closed — roll back (or degrade) without tearing, leaving the
+// supervisor on the last-good deployment — and the next poll must
+// complete the repair transactionally once the second fault heals.
+func TestSupervisorFaultDuringRollout(t *testing.T) {
+	tp := ringTopo(t, 5, 1.0)
+	var sup *Supervisor
+	var victim2 network.SwitchID
+	struck := false
+	opts := Options{
+		Monitor: immediate(),
+		RolloutHook: func(phase string, op rollout.Op, view *rollout.ServingView) {
+			// First prepare of the first repair rollout: kill the op's
+			// own target — a switch the NEW plan depends on — before
+			// the op runs, as if it died while the adoption was in
+			// flight.
+			if !struck && phase == "prepare" {
+				struck = true
+				victim2 = op.Switch
+				if err := tp.SetSwitchDown(victim2); err != nil {
+					t.Error(err)
+				}
+			}
+		},
+	}
+	sup, err := New(workload.RealPrograms(), tp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireHealthy(t, sup)
+	if sup.Epoch() != 1 {
+		t.Fatalf("initial epoch = %d, want 1", sup.Epoch())
+	}
+	mat, hostA := hostOf(t, sup)
+	before := sup.Deployment()
+
+	if err := tp.SetSwitchDown(hostA); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sup.Poll()
+	if err == nil {
+		t.Fatal("poll succeeded though a second fault struck mid-rollout")
+	}
+	if !struck {
+		t.Fatal("rollout hook never fired; adoption did not go through the rollout engine")
+	}
+	if res.Rollout == nil {
+		t.Fatal("poll result carries no rollout report")
+	}
+	if out := res.Rollout.Outcome; out != rollout.OutcomeRolledBack && out != rollout.OutcomeDegraded {
+		t.Fatalf("mid-rollout fault outcome = %q, want rolled-back or degraded", out)
+	}
+	// Fail closed: still the last-good deployment at the old epoch.
+	if sup.Deployment() != before {
+		t.Fatal("failed rollout swapped the deployment")
+	}
+	if sup.Epoch() != 1 {
+		t.Fatalf("failed rollout advanced the epoch to %d", sup.Epoch())
+	}
+	st := sup.Stats()
+	if st.Rollouts != 1 {
+		t.Fatalf("Rollouts = %d, want 1", st.Rollouts)
+	}
+	if res.Rollout.Outcome == rollout.OutcomeRolledBack && st.RolledBackRollouts != 1 {
+		t.Fatalf("RolledBackRollouts = %d, want 1", st.RolledBackRollouts)
+	}
+	if st.FailedPolls != 1 {
+		t.Fatalf("FailedPolls = %d, want 1", st.FailedPolls)
+	}
+
+	// Heal the mid-rollout casualty (hostA stays down); the next poll
+	// reruns the repair and the rollout commits.
+	if err := tp.SetSwitchUp(victim2); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := sup.Poll()
+	if err != nil {
+		t.Fatalf("reentry poll: %v", err)
+	}
+	if !res2.Replanned {
+		t.Fatal("reentry poll did not replan")
+	}
+	if res2.Rollout == nil || res2.Rollout.Outcome != rollout.OutcomeCommitted {
+		t.Fatalf("reentry rollout = %+v, want committed", res2.Rollout)
+	}
+	if sup.Epoch() != 2 {
+		t.Fatalf("epoch after committed rollout = %d, want 2", sup.Epoch())
+	}
+	requireHealthy(t, sup)
+	for name, sp := range sup.Deployment().Plan.Assignments {
+		if sp.Switch == hostA {
+			t.Errorf("MAT %q still on dead switch %d after reentry", name, hostA)
+		}
+	}
+	got, err := sup.Controller().HostingSwitch(mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := sup.Deployment().Plan.SwitchOf(mat); got != want {
+		t.Errorf("controller host for %q = %d, want rebound %d", mat, got, want)
+	}
+	if st := sup.Stats(); st.Rollouts != 2 {
+		t.Errorf("Rollouts = %d, want 2", st.Rollouts)
+	}
 }
